@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// gain-container operations, incremental partition-state moves, one FM
+// pass, and one coarsening level.  These guard the "Do make it fast
+// enough / Do measure CPU time" maxims [19] — a slow testbed invalidates
+// runtime-regime conclusions.
+#include <benchmark/benchmark.h>
+
+#include "src/gen/netlist_gen.h"
+#include "src/part/core/fm_refiner.h"
+#include "src/part/core/gain_container.h"
+#include "src/part/core/initial.h"
+#include "src/part/ml/coarsen.h"
+
+namespace vlsipart {
+namespace {
+
+void BM_GainContainerInsertRemove(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  GainContainer c(n, InsertOrder::kLifo);
+  Rng rng(1);
+  for (auto _ : state) {
+    c.reset(64);
+    for (VertexId v = 0; v < n; ++v) {
+      c.insert(v, static_cast<PartId>(v & 1),
+               static_cast<Gain>(v % 129) - 64, rng);
+    }
+    for (VertexId v = 0; v < n; ++v) c.remove(v);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_GainContainerInsertRemove)->Arg(1024)->Arg(16384);
+
+void BM_GainContainerUpdateKey(benchmark::State& state) {
+  constexpr std::size_t kN = 4096;
+  GainContainer c(kN, InsertOrder::kLifo);
+  Rng rng(2);
+  c.reset(64);
+  for (VertexId v = 0; v < kN; ++v) {
+    c.insert(v, static_cast<PartId>(v & 1), 0, rng);
+  }
+  VertexId v = 0;
+  for (auto _ : state) {
+    c.update_key(v, (v & 1) ? 3 : -3, rng);
+    v = (v + 1) % kN;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GainContainerUpdateKey);
+
+void BM_PartitionStateMove(benchmark::State& state) {
+  const Hypergraph h = generate_netlist(preset("medium"));
+  PartitionState s(h);
+  Rng rng(3);
+  std::vector<PartId> parts(h.num_vertices());
+  for (auto& p : parts) p = static_cast<PartId>(rng.below(2));
+  s.assign(parts);
+  VertexId v = 0;
+  for (auto _ : state) {
+    s.move(v);
+    v = static_cast<VertexId>((v + 17) % h.num_vertices());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PartitionStateMove);
+
+void BM_FmFullRefine(benchmark::State& state) {
+  const Hypergraph h = generate_netlist(preset("medium"));
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance =
+      BalanceConstraint::from_tolerance(h.total_vertex_weight(), 0.02);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    auto parts = random_initial(p, rng);
+    PartitionState s(h);
+    s.assign(parts);
+    FmRefiner refiner(p, FmConfig{});
+    benchmark::DoNotOptimize(refiner.refine(s, rng));
+  }
+}
+BENCHMARK(BM_FmFullRefine)->Unit(benchmark::kMillisecond);
+
+void BM_CoarsenOneLevel(benchmark::State& state) {
+  const Hypergraph h = generate_netlist(preset("medium"));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    benchmark::DoNotOptimize(
+        coarsen_once(h, CoarsenConfig{}, {}, {}, rng));
+  }
+}
+BENCHMARK(BM_CoarsenOneLevel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vlsipart
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// vpart — command-line hypergraph partitioner (shmetis-style tool).
+//
+// The adoption-path entry point for this library: reads an hMetis .hgr
+// file, an ISPD98 .netD/.are pair, or a built-in synthetic preset;
+// partitions 2-way or k-way; writes an hMetis-style .part file and
+// prints a report with multiple objectives.
+//
+// Usage:
+//   vpart --hgr circuit.hgr      [options]
+//   vpart --ispd98 path/ibm01    [options]   (reads .netD/.are)
+//   vpart --case ibm01 [--scale 0.5]         (synthetic preset)
+// Options:
+//   --k 2           number of parts (k > 2 uses recursive bisection)
+//   --tolerance 0.02
+//   --engine ml|flat|clip        (default ml)
+//   --starts 4      independent starts (best kept)
+//   --vcycles 1     V-cycles applied to the best result (k = 2 only)
+//   --seed 1
+//   --out out.part  solution file (default <input>.part.<k>)
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/eval/objectives.h"
+#include "src/gen/netlist_gen.h"
+#include "src/hypergraph/stats.h"
+#include "src/io/hmetis_io.h"
+#include "src/io/ispd98_io.h"
+#include "src/io/partition_io.h"
+#include "src/part/core/multistart.h"
+#include "src/part/core/partitioner.h"
+#include "src/part/kway/recursive_bisection.h"
+#include "src/part/ml/ml_partitioner.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+using namespace vlsipart;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    Hypergraph h;
+    std::string source;
+    if (args.has("hgr")) {
+      source = args.get("hgr", "");
+      h = read_hmetis_file(source);
+    } else if (args.has("ispd98")) {
+      source = args.get("ispd98", "");
+      h = read_ispd98_files(source).hypergraph;
+    } else {
+      const std::string name = args.get("case", "ibm01");
+      source = name;
+      h = generate_netlist(
+          preset(name).scaled(args.get_double("scale", 0.5)));
+    }
+    std::printf("%s\n\n", compute_stats(h).to_string(h.name()).c_str());
+
+    const auto k = static_cast<std::size_t>(args.get_int("k", 2));
+    // hMetis "UBfactor" parity: UBfactor b means parts within
+    // (50 +- b)% of the total, i.e. tolerance = 2b/100.
+    double tolerance = args.get_double("tolerance", 0.02);
+    if (args.has("ubfactor")) {
+      tolerance = 2.0 * args.get_double("ubfactor", 1.0) / 100.0;
+    }
+    const std::string engine_name = args.get("engine", "ml");
+    const auto starts = static_cast<std::size_t>(args.get_int("starts", 4));
+    const auto vcycles =
+        static_cast<std::size_t>(args.get_int("vcycles", 1));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    FmConfig fm;
+    if (engine_name == "clip") {
+      fm.clip = true;
+      fm.exclude_oversized = true;
+    } else if (engine_name != "ml" && engine_name != "flat") {
+      throw std::runtime_error("unknown --engine (ml|flat|clip): " +
+                               engine_name);
+    }
+
+    std::vector<PartId> parts;
+    Weight cut = 0;
+    CpuTimer timer;
+    if (k == 2) {
+      PartitionProblem problem;
+      problem.graph = &h;
+      problem.balance = BalanceConstraint::from_tolerance(
+          h.total_vertex_weight(), tolerance);
+      if (engine_name == "ml") {
+        MlConfig config;
+        MlPartitioner engine(config);
+        const MultistartResult r =
+            run_hmetis_like(problem, engine, starts, vcycles, seed);
+        parts = r.best_parts;
+        cut = r.best_cut;
+      } else {
+        FlatFmPartitioner engine(fm);
+        const MultistartResult r =
+            run_multistart(problem, engine, starts, seed);
+        parts = r.best_parts;
+        cut = r.best_cut;
+      }
+      if (parts.empty()) {
+        std::fprintf(stderr, "no feasible solution found\n");
+        return 1;
+      }
+      const std::string violation = check_solution(problem, parts);
+      if (!violation.empty()) {
+        std::fprintf(stderr, "solution audit failed: %s\n",
+                     violation.c_str());
+        return 1;
+      }
+    } else {
+      KwayConfig config;
+      config.k = k;
+      config.tolerance = tolerance;
+      config.use_ml = (engine_name == "ml");
+      config.fm = fm;
+      config.starts_per_level = starts;
+      config.seed = seed;
+      const KwayResult r = recursive_bisection(h, config);
+      parts = r.parts;
+      cut = r.cut;
+      const std::string violation = check_kway(h, parts, k, tolerance);
+      if (!violation.empty()) {
+        std::fprintf(stderr, "warning: %s\n", violation.c_str());
+      }
+    }
+    const double cpu = timer.elapsed();
+
+    TextTable report({"metric", "value"});
+    report.add_row({"parts", std::to_string(k)});
+    report.add_row({"cut", std::to_string(cut)});
+    if (k == 2) {
+      report.add_row({"ratio cut", fmt_fixed(ratio_cut(h, parts) * 1e9, 3) +
+                                       "e-9"});
+      report.add_row({"absorption", fmt_fixed(absorption(h, parts), 1)});
+      report.add_row(
+          {"SOED", std::to_string(sum_of_external_degrees(h, parts))});
+    }
+    report.add_row({"CPU seconds", fmt_fixed(cpu, 3)});
+    std::printf("%s\n", report.to_string().c_str());
+
+    const std::string out = args.get(
+        "out", (args.has("hgr") || args.has("ispd98") ? source : h.name()) +
+                   ".part." + std::to_string(k));
+    write_partition_file(parts, out);
+    std::printf("solution written to %s\n", out.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vpart: %s\n", e.what());
+    return 1;
+  }
+}

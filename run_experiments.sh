@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate every experiment artifact: build, test, run all benches.
+# Outputs land in test_output.txt and bench_output.txt.
+# Pass --full to each bench manually for paper-faithful (hours-long) runs.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+(for b in build/bench/bench_*; do echo "##### $b"; "$b"; echo; done) 2>&1 | tee bench_output.txt

@@ -1,0 +1,67 @@
+#include "src/eval/objectives.h"
+
+#include <array>
+
+#include "src/part/core/partition_state.h"
+
+namespace vlsipart {
+
+Weight cut_size(const Hypergraph& h, std::span<const PartId> parts) {
+  return compute_cut(h, parts);
+}
+
+double ratio_cut(const Hypergraph& h, std::span<const PartId> parts) {
+  const Weight cut = compute_cut(h, parts);
+  const auto w = compute_part_weights(h, parts);
+  if (w[0] == 0 || w[1] == 0) return 0.0;
+  return static_cast<double>(cut) /
+         (static_cast<double>(w[0]) * static_cast<double>(w[1]));
+}
+
+double scaled_cost(const Hypergraph& h, std::span<const PartId> parts) {
+  const Weight cut = compute_cut(h, parts);
+  const auto w = compute_part_weights(h, parts);
+  if (w[0] == 0 || w[1] == 0) return 0.0;
+  const double n = static_cast<double>(h.num_vertices());
+  // k = 2, so n(k-1) = n.
+  return (static_cast<double>(cut) / static_cast<double>(w[0]) +
+          static_cast<double>(cut) / static_cast<double>(w[1])) /
+         n;
+}
+
+double absorption(const Hypergraph& h, std::span<const PartId> parts) {
+  double total = 0.0;
+  for (std::size_t e = 0; e < h.num_edges(); ++e) {
+    std::array<std::size_t, 2> pins{0, 0};
+    for (const VertexId v : h.pins(static_cast<EdgeId>(e))) {
+      ++pins[parts[v]];
+    }
+    const double denom =
+        static_cast<double>(h.edge_size(static_cast<EdgeId>(e)) - 1);
+    for (int p = 0; p < 2; ++p) {
+      if (pins[p] > 0) {
+        total += static_cast<double>(pins[p] - 1) / denom;
+      }
+    }
+  }
+  return total;
+}
+
+Weight sum_of_external_degrees(const Hypergraph& h,
+                               std::span<const PartId> parts) {
+  Weight total = 0;
+  for (std::size_t e = 0; e < h.num_edges(); ++e) {
+    bool in0 = false;
+    bool in1 = false;
+    for (const VertexId v : h.pins(static_cast<EdgeId>(e))) {
+      (parts[v] == 0 ? in0 : in1) = true;
+    }
+    if (in0 && in1) {
+      total += static_cast<Weight>(h.edge_size(static_cast<EdgeId>(e)) - 1) *
+               h.edge_weight(static_cast<EdgeId>(e));
+    }
+  }
+  return total;
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,38 @@
+// Partitioning objective functions beyond plain cut size.
+//
+// Section 1 of the paper lists the standard objectives proposed in the
+// literature: cut size, ratio cut [37], scaled cost [11] and absorption
+// [36].  The FM testbed optimizes cut; these evaluators let experiments
+// report any of them on a finished solution ("Do measure with many
+// instruments", Gent et al. [19]).
+#pragma once
+
+#include <span>
+
+#include "src/hypergraph/hypergraph.h"
+
+namespace vlsipart {
+
+/// Number (weighted sum) of hyperedges spanning both parts.
+Weight cut_size(const Hypergraph& h, std::span<const PartId> parts);
+
+/// Wei-Cheng ratio cut [37]: cut / (w(P0) * w(P1)).
+/// Lower is better; balance emerges from the denominator.
+double ratio_cut(const Hypergraph& h, std::span<const PartId> parts);
+
+/// Chan-Schlag-Zien scaled cost [11] for k = 2:
+///   (1 / (n (k-1))) * sum_p cut / w(P_p).
+double scaled_cost(const Hypergraph& h, std::span<const PartId> parts);
+
+/// Sun-Sechen absorption [36]: sum over nets e, parts p of
+///   (pins(e, p) - 1) / (|e| - 1), counting only parts with pins.
+/// Higher is better (a fully absorbed net contributes 1).
+double absorption(const Hypergraph& h, std::span<const PartId> parts);
+
+/// Sum of (|e| - 1) over cut nets — the "SOED minus net count" style
+/// k-way generalization specialized to 2 parts; reported by several of
+/// the surveyed papers.
+Weight sum_of_external_degrees(const Hypergraph& h,
+                               std::span<const PartId> parts);
+
+}  // namespace vlsipart

@@ -1,0 +1,80 @@
+#include "src/eval/report.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+#include "src/util/table.h"
+
+namespace vlsipart {
+
+ComparisonReport compare_engines(
+    const PartitionProblem& problem,
+    const std::vector<std::pair<std::string, Bipartitioner*>>& engines,
+    const ComparisonConfig& config) {
+  VP_CHECK(!engines.empty(), "at least one engine");
+  VP_CHECK(config.baseline < engines.size(), "baseline index in range");
+
+  ComparisonReport report;
+  report.engines.reserve(engines.size());
+
+  for (const auto& [name, engine] : engines) {
+    EngineReport er;
+    er.name = name;
+    er.multistart =
+        run_multistart(problem, *engine, config.runs, config.seed);
+    const Sample cuts = er.multistart.cut_sample();
+    er.bsf = expected_bsf_curve(cuts, er.multistart.avg_cpu_seconds(),
+                                config.budgets);
+    for (const BsfPoint& p : er.bsf) {
+      report.points.push_back(
+          {p.expected_cost, p.cpu_seconds,
+           name + "@" + std::to_string(p.starts)});
+    }
+    report.engines.push_back(std::move(er));
+  }
+
+  const Sample baseline_cuts =
+      report.engines[config.baseline].multistart.cut_sample();
+  for (std::size_t i = 0; i < report.engines.size(); ++i) {
+    if (i == config.baseline) continue;
+    report.engines[i].versus_baseline = describe_comparison(
+        report.engines[i].name, report.engines[i].multistart.cut_sample(),
+        report.engines[config.baseline].name, baseline_cuts, config.alpha);
+  }
+
+  report.frontier = pareto_frontier(report.points);
+  return report;
+}
+
+std::string ComparisonReport::to_string() const {
+  std::ostringstream out;
+
+  TextTable summary(
+      {"engine", "min cut", "avg cut", "stddev", "avg cpu (s)"});
+  for (const EngineReport& er : engines) {
+    const Sample cuts = er.multistart.cut_sample();
+    summary.add_row({er.name, std::to_string(er.multistart.min_cut()),
+                     fmt_fixed(er.multistart.avg_cut(), 1),
+                     fmt_fixed(cuts.stddev(), 1),
+                     fmt_fixed(er.multistart.avg_cpu_seconds(), 4)});
+  }
+  out << "== Multistart summary\n" << summary.to_string() << '\n';
+
+  out << "== Expected best-so-far curves\n";
+  for (const EngineReport& er : engines) {
+    out << format_bsf(er.bsf, er.name);
+  }
+  out << '\n';
+
+  out << "== Non-dominated (cost, runtime) frontier\n"
+      << format_frontier(frontier) << '\n';
+
+  out << "== Significance vs baseline\n";
+  for (const EngineReport& er : engines) {
+    if (er.versus_baseline.empty()) continue;
+    out << "  " << er.versus_baseline << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace vlsipart

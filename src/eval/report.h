@@ -1,0 +1,61 @@
+// Structured multi-engine comparison reports.
+//
+// Bundles the paper's whole reporting prescription (Sec. 3.2) into one
+// call: run every engine under an identical multistart regime, then emit
+//   * a min/avg/stddev/CPU summary table,
+//   * expected best-so-far curves,
+//   * the non-dominated (cost, runtime) frontier,
+//   * pairwise significance tests against a chosen baseline.
+// This is what a paper's "comparison section" should compute — wired up
+// so downstream users cannot accidentally compare on number-of-starts
+// instead of CPU time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/eval/bsf.h"
+#include "src/eval/pareto.h"
+#include "src/eval/significance.h"
+#include "src/part/core/multistart.h"
+
+namespace vlsipart {
+
+struct ComparisonConfig {
+  std::size_t runs = 20;
+  std::uint64_t seed = 1;
+  /// Multistart budgets (in starts) for BSF/frontier points.
+  std::vector<std::size_t> budgets = {1, 2, 4, 8, 16};
+  /// Index (into the engines vector) of the significance baseline.
+  std::size_t baseline = 0;
+  double alpha = 0.05;
+};
+
+struct EngineReport {
+  std::string name;
+  MultistartResult multistart;
+  std::vector<BsfPoint> bsf;
+  /// Welch/Mann-Whitney comparison against the baseline engine
+  /// (empty string for the baseline itself).
+  std::string versus_baseline;
+};
+
+struct ComparisonReport {
+  std::vector<EngineReport> engines;
+  std::vector<PerfPoint> points;
+  std::vector<PerfPoint> frontier;
+
+  /// Aligned-text rendering of the whole report.
+  std::string to_string() const;
+};
+
+/// Run the full comparison.  Engines are owned by the caller and run
+/// sequentially (deterministic per engine given config.seed).
+ComparisonReport compare_engines(
+    const PartitionProblem& problem,
+    const std::vector<std::pair<std::string, Bipartitioner*>>& engines,
+    const ComparisonConfig& config);
+
+}  // namespace vlsipart

@@ -1,0 +1,228 @@
+#include "src/flows/quadrisection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+
+#include "src/part/kway/kway_refiner.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace vlsipart {
+namespace {
+
+// Quadrant ids: 0 = SW, 1 = SE, 2 = NW, 3 = NE.
+struct QuadRegion {
+  double x0, y0, x1, y1;
+  std::vector<VertexId> cells;
+  std::uint64_t seed;
+};
+
+class QuadPlacer {
+ public:
+  QuadPlacer(const Hypergraph& h, const QuadPlacerConfig& config)
+      : h_(h), config_(config) {
+    report_.placement.x.assign(h.num_vertices(), 0.0);
+    report_.placement.y.assign(h.num_vertices(), 0.0);
+  }
+
+  PlacementReport run() {
+    CpuTimer timer;
+    double width = config_.core_width;
+    double height = config_.core_height;
+    if (width <= 0.0 || height <= 0.0) {
+      const double side =
+          std::sqrt(static_cast<double>(h_.total_vertex_weight()));
+      width = height = std::max(1.0, side);
+    }
+    QuadRegion top{0.0, 0.0, width, height, {}, config_.seed};
+    top.cells.reserve(h_.num_vertices());
+    for (std::size_t v = 0; v < h_.num_vertices(); ++v) {
+      top.cells.push_back(static_cast<VertexId>(v));
+      report_.placement.x[v] = width / 2.0;
+      report_.placement.y[v] = height / 2.0;
+    }
+    place_region(top);
+    report_.hpwl = hpwl(h_, report_.placement);
+    report_.cpu_seconds = timer.elapsed();
+    return std::move(report_);
+  }
+
+ private:
+  void place_region(const QuadRegion& region) {
+    if (region.cells.size() <= config_.leaf_cells) {
+      place_leaf(region);
+      return;
+    }
+    const double cx = (region.x0 + region.x1) / 2.0;
+    const double cy = (region.y0 + region.y1) / 2.0;
+
+    // Sub-netlist over this region's cells plus one fixed terminal per
+    // crossing net, assigned to the quadrant nearest the external pins'
+    // mean position.
+    const std::size_t n_local = region.cells.size();
+    std::vector<VertexId> local_of(h_.num_vertices(), kInvalidVertex);
+    for (std::size_t i = 0; i < region.cells.size(); ++i) {
+      local_of[region.cells[i]] = static_cast<VertexId>(i);
+    }
+    struct CrossNet {
+      std::vector<VertexId> internal;
+      double sum_x = 0.0;
+      double sum_y = 0.0;
+      std::size_t externals = 0;
+      Weight weight = 1;
+    };
+    std::vector<CrossNet> nets;
+    for (const VertexId v : region.cells) {
+      for (const EdgeId e : h_.incident_edges(v)) {
+        const auto span = h_.pins(e);
+        VertexId owner = kInvalidVertex;
+        for (const VertexId u : span) {
+          if (local_of[u] != kInvalidVertex) {
+            owner = u;
+            break;
+          }
+        }
+        if (owner != v) continue;
+        CrossNet net;
+        net.weight = h_.edge_weight(e);
+        for (const VertexId u : span) {
+          if (local_of[u] != kInvalidVertex) {
+            net.internal.push_back(local_of[u]);
+          } else {
+            net.sum_x += report_.placement.x[u];
+            net.sum_y += report_.placement.y[u];
+            ++net.externals;
+          }
+        }
+        if (net.internal.empty()) continue;
+        if (net.internal.size() + (net.externals > 0 ? 1 : 0) < 2) continue;
+        nets.push_back(std::move(net));
+      }
+    }
+    std::size_t num_terminals = 0;
+    for (const CrossNet& net : nets) {
+      if (net.externals > 0) ++num_terminals;
+    }
+
+    HypergraphBuilder builder(n_local + num_terminals);
+    for (std::size_t i = 0; i < n_local; ++i) {
+      builder.set_vertex_weight(static_cast<VertexId>(i),
+                                h_.vertex_weight(region.cells[i]));
+    }
+    std::vector<PartId> fixed(n_local + num_terminals, kNoPart);
+    std::size_t next_terminal = n_local;
+    std::vector<VertexId> pins;
+    for (const CrossNet& net : nets) {
+      pins = net.internal;
+      if (net.externals > 0) {
+        const auto t = static_cast<VertexId>(next_terminal++);
+        builder.set_vertex_weight(t, 1);
+        const double mx = net.sum_x / static_cast<double>(net.externals);
+        const double my = net.sum_y / static_cast<double>(net.externals);
+        fixed[t] = static_cast<PartId>((mx < cx ? 0 : 1) +
+                                       (my < cy ? 0 : 2));
+        pins.push_back(t);
+        ++report_.terminals_created;
+      }
+      builder.add_edge(pins, net.weight);
+    }
+    Hypergraph quad_graph = builder.finalize();
+
+    KwayProblem problem =
+        KwayProblem::uniform(quad_graph, 4, config_.tolerance);
+    problem.fixed = std::move(fixed);
+
+    // Initial: largest-first to the lightest quadrant (fixed terminals
+    // pre-assigned).
+    std::vector<PartId> parts(quad_graph.num_vertices(), kNoPart);
+    std::vector<Weight> quad_weight(4, 0);
+    for (std::size_t v = 0; v < parts.size(); ++v) {
+      if (problem.is_fixed(static_cast<VertexId>(v))) {
+        parts[v] = problem.fixed[v];
+        quad_weight[parts[v]] +=
+            quad_graph.vertex_weight(static_cast<VertexId>(v));
+      }
+    }
+    std::vector<VertexId> order;
+    for (std::size_t v = 0; v < parts.size(); ++v) {
+      if (parts[v] == kNoPart) order.push_back(static_cast<VertexId>(v));
+    }
+    Rng rng(region.seed);
+    rng.shuffle(order);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](VertexId a, VertexId b) {
+                       return quad_graph.vertex_weight(a) >
+                              quad_graph.vertex_weight(b);
+                     });
+    for (const VertexId v : order) {
+      const auto lightest = static_cast<PartId>(
+          std::min_element(quad_weight.begin(), quad_weight.end()) -
+          quad_weight.begin());
+      parts[v] = lightest;
+      quad_weight[lightest] += quad_graph.vertex_weight(v);
+    }
+
+    KwayState state(quad_graph, 4);
+    state.assign(parts);
+    KwayFmConfig refine;
+    refine.max_passes = config_.refine_passes;
+    KwayFmRefiner refiner(problem, refine);
+    refiner.refine(state, rng);
+    ++report_.regions_partitioned;
+
+    QuadRegion quads[4] = {
+        {region.x0, region.y0, cx, cy, {}, region.seed * 4 + 1},
+        {cx, region.y0, region.x1, cy, {}, region.seed * 4 + 2},
+        {region.x0, cy, cx, region.y1, {}, region.seed * 4 + 3},
+        {cx, cy, region.x1, region.y1, {}, region.seed * 4 + 4},
+    };
+    for (std::size_t i = 0; i < n_local; ++i) {
+      quads[state.part(static_cast<VertexId>(i))].cells.push_back(
+          region.cells[i]);
+    }
+    for (QuadRegion& quad : quads) {
+      for (const VertexId v : quad.cells) {
+        report_.placement.x[v] = (quad.x0 + quad.x1) / 2.0;
+        report_.placement.y[v] = (quad.y0 + quad.y1) / 2.0;
+      }
+    }
+    for (const QuadRegion& quad : quads) {
+      place_region(quad);
+    }
+  }
+
+  void place_leaf(const QuadRegion& region) {
+    const std::size_t n = region.cells.size();
+    if (n == 0) return;
+    const auto cols = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    const std::size_t rows = (n + cols - 1) / cols;
+    const double dx = (region.x1 - region.x0) / static_cast<double>(cols);
+    const double dy = (region.y1 - region.y0) / static_cast<double>(rows);
+    std::vector<VertexId> ordered = region.cells;
+    std::sort(ordered.begin(), ordered.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      report_.placement.x[ordered[i]] =
+          region.x0 + (static_cast<double>(i % cols) + 0.5) * dx;
+      report_.placement.y[ordered[i]] =
+          region.y0 + (static_cast<double>(i / cols) + 0.5) * dy;
+    }
+  }
+
+  const Hypergraph& h_;
+  QuadPlacerConfig config_;
+  PlacementReport report_;
+};
+
+}  // namespace
+
+PlacementReport quadrisection_place(const Hypergraph& h,
+                                    const QuadPlacerConfig& config) {
+  QuadPlacer placer(h, config);
+  return placer.run();
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,30 @@
+// Quadrisection placement (Suaris-Kedem [35]) — the paper's second cited
+// terminal-propagation flow: regions are split into four quadrants at
+// once with a direct 4-way FM engine, rather than by two successive
+// bisections.  Crossing nets become terminals fixed to the nearest
+// quadrant.  Compared against recursive bisection, quadrisection sees
+// both cutline directions simultaneously and avoids committing to a
+// vertical split before knowing the horizontal one.
+#pragma once
+
+#include "src/flows/topdown_place.h"
+
+namespace vlsipart {
+
+struct QuadPlacerConfig {
+  double core_width = 0.0;   ///< 0 = derive square core from total area
+  double core_height = 0.0;
+  std::size_t leaf_cells = 24;
+  /// Per-quadrant weight tolerance for the 4-way subproblems.
+  double tolerance = 0.20;
+  /// Direct k-way FM passes per region.
+  int refine_passes = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Run the quadrisection flow; report has the same shape as the
+/// bisection placer's so the two flows can be compared directly.
+PlacementReport quadrisection_place(const Hypergraph& h,
+                                    const QuadPlacerConfig& config);
+
+}  // namespace vlsipart

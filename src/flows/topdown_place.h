@@ -1,0 +1,59 @@
+// Top-down min-cut placement flow — the driving application of Sec. 2.1.
+//
+// "A modern top-down standard-cell placement tool might perform ...
+// recursive min-cut bisection of a cell-level netlist to obtain a coarse
+// placement."  This flow reproduces that use model: regions are
+// recursively bisected with the FM engine, and nets crossing a region
+// boundary are modeled by fixed terminal vertices (terminal propagation,
+// Dunlop-Kernighan [14] / Suaris-Kedem [35]).  It is also the reason
+// "almost all hypergraph partitioning instances have many vertices fixed
+// in partitions" in practice — each recursive subproblem below the top
+// level carries fixed terminals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+#include "src/part/core/fm_config.h"
+
+namespace vlsipart {
+
+struct PlacerConfig {
+  /// Core region; 0 = derive a square sized by total cell area.
+  double core_width = 0.0;
+  double core_height = 0.0;
+  /// Stop recursing when a region holds at most this many cells.
+  std::size_t leaf_cells = 24;
+  /// Balance tolerance per bisection (vertical cutlines tolerate more,
+  /// Sec. 3.2 footnote 8).
+  double tolerance = 0.10;
+  /// FM policy for every bisection.
+  FmConfig fm;
+  /// Independent starts per region — "realistic runtime regimes support
+  /// at most a few starts" (Sec. 3.2).
+  std::size_t starts_per_region = 2;
+  std::uint64_t seed = 1;
+};
+
+struct Placement {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlacementReport {
+  Placement placement;
+  double hpwl = 0.0;
+  std::size_t regions_partitioned = 0;
+  std::size_t terminals_created = 0;
+  double cpu_seconds = 0.0;
+};
+
+/// Run the full top-down flow.  Deterministic for a fixed config.
+PlacementReport topdown_place(const Hypergraph& h,
+                              const PlacerConfig& config);
+
+/// Half-perimeter wirelength of a placement.
+double hpwl(const Hypergraph& h, const Placement& placement);
+
+}  // namespace vlsipart

@@ -1,0 +1,272 @@
+#include "src/gen/netlist_gen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+namespace {
+
+/// Bit-reverse a value within `bits` bits; used to place consecutively
+/// indexed cells at hierarchically interleaved line positions, producing
+/// a recursive cluster structure.
+std::uint64_t bit_reverse(std::uint64_t x, unsigned bits) {
+  std::uint64_t out = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    out = (out << 1) | ((x >> b) & 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+GenConfig GenConfig::scaled(double factor) const {
+  GenConfig c = *this;
+  auto scale = [&](std::size_t v, std::size_t floor_at) {
+    const double scaled = static_cast<double>(v) * factor;
+    return std::max<std::size_t>(floor_at,
+                                 static_cast<std::size_t>(scaled + 0.5));
+  };
+  c.num_cells = scale(num_cells, 64);
+  c.num_pads = scale(num_pads, 4);
+  c.num_nets = scale(num_nets, 64);
+  c.num_macros = scale(num_macros, factor >= 0.05 ? 2 : 0);
+  c.num_huge_nets = std::max<std::size_t>(1, num_huge_nets);
+  return c;
+}
+
+Hypergraph generate_netlist(const GenConfig& config) {
+  VP_CHECK(config.num_cells >= 4, "need at least 4 cells");
+  VP_CHECK(config.net_size_geom_p > 0.0 && config.net_size_geom_p <= 1.0,
+           "geometric parameter in (0,1]");
+
+  Rng rng(config.seed);
+  const std::size_t n_cells = config.num_cells;
+  const std::size_t n_pads = config.num_pads;
+  const std::size_t n_total = n_cells + n_pads;
+
+  // Hierarchical positions: position_of_cell[i] is where cell i sits on
+  // the virtual line; cells_at[p] inverts the map.
+  unsigned bits = 1;
+  while ((1ULL << bits) < n_cells) ++bits;
+  std::vector<std::uint32_t> cell_at_pos(n_cells);
+  {
+    std::size_t written = 0;
+    for (std::uint64_t i = 0; i < (1ULL << bits) && written < n_cells; ++i) {
+      const std::uint64_t rev = bit_reverse(i, bits);
+      if (rev < n_cells) {
+        cell_at_pos[written++] = static_cast<std::uint32_t>(rev);
+      }
+    }
+    VP_CHECK(written == n_cells, "bit-reversal permutation covers all cells");
+  }
+
+  HypergraphBuilder builder(n_total);
+
+  auto pick_near = [&](std::size_t center_pos) -> VertexId {
+    std::size_t pos;
+    if (rng.bernoulli(config.global_pin_fraction)) {
+      pos = static_cast<std::size_t>(rng.below(n_cells));
+    } else {
+      // Power-law offset magnitude (Pareto, heavy tail) with random
+      // sign: most pins land next to the center, a few reach across the
+      // chip — the multi-scale locality real netlists exhibit.
+      const double mag = rng.pareto(1.0, config.offset_alpha);
+      const auto cap = static_cast<double>(n_cells / 2);
+      auto off = static_cast<std::int64_t>(std::min(mag, cap));
+      if (rng.bernoulli(0.5)) off = -off;
+      std::int64_t p = static_cast<std::int64_t>(center_pos) + off;
+      const auto n = static_cast<std::int64_t>(n_cells);
+      p = ((p % n) + n) % n;
+      pos = static_cast<std::size_t>(p);
+    }
+    return cell_at_pos[pos];
+  };
+
+  // Regular nets.  Track cell degrees as we go so macros can later be
+  // assigned to the highest-degree cells.
+  std::vector<std::uint32_t> cell_degree(n_cells, 0);
+  std::vector<VertexId> pins;
+  auto count_pins = [&]() {
+    for (const VertexId v : pins) {
+      if (v < n_cells) ++cell_degree[v];
+    }
+  };
+  for (std::size_t e = 0; e < config.num_nets; ++e) {
+    const std::size_t size = static_cast<std::size_t>(rng.truncated_geometric(
+        2, config.max_net_size, config.net_size_geom_p));
+    const std::size_t center = static_cast<std::size_t>(rng.below(n_cells));
+    pins.clear();
+    pins.push_back(cell_at_pos[center]);
+    while (pins.size() < size) {
+      pins.push_back(pick_near(center));
+    }
+    count_pins();
+    builder.add_edge(pins);  // duplicates removed; <2 pins dropped
+  }
+
+  // Huge nets (clock/reset class): uniformly spread pins.
+  const auto huge_size = std::max<std::size_t>(
+      32, static_cast<std::size_t>(config.huge_net_span_fraction *
+                                   static_cast<double>(n_cells)));
+  for (std::size_t e = 0; e < config.num_huge_nets; ++e) {
+    pins.clear();
+    for (std::size_t k = 0; k < huge_size; ++k) {
+      pins.push_back(static_cast<VertexId>(rng.below(n_cells)));
+    }
+    count_pins();
+    builder.add_edge(pins);
+  }
+
+  // Pad nets: each pad connects to a small local group of cells near a
+  // random anchor (models IO paths entering the core).
+  for (std::size_t p = 0; p < n_pads; ++p) {
+    const auto pad = static_cast<VertexId>(n_cells + p);
+    const std::size_t anchor = static_cast<std::size_t>(rng.below(n_cells));
+    const std::size_t fanout = 1 + static_cast<std::size_t>(rng.below(3));
+    pins.clear();
+    pins.push_back(pad);
+    for (std::size_t k = 0; k < fanout; ++k) {
+      pins.push_back(pick_near(anchor));
+    }
+    count_pins();
+    builder.add_edge(pins);
+  }
+
+  // Areas.  Standard cells: discrete drive-strength-like distribution
+  // skewed toward small cells.  Pads: area 1.
+  Weight standard_total = 0;
+  for (std::size_t v = 0; v < n_cells; ++v) {
+    // P(area = a) ~ 1/a over [1, standard_area_max].
+    const auto amax = static_cast<double>(config.standard_area_max);
+    const double u = rng.uniform();
+    const Weight area = std::max<Weight>(
+        1, static_cast<Weight>(std::exp(u * std::log(amax))));
+    builder.set_vertex_weight(static_cast<VertexId>(v), area);
+    standard_total += area;
+  }
+  for (std::size_t p = 0; p < n_pads; ++p) {
+    builder.set_vertex_weight(static_cast<VertexId>(n_cells + p), 1);
+  }
+
+  // Macros: overwrite the areas of the highest-degree cells with a
+  // Pareto tail in [min_fraction, max_fraction] of the standard-cell
+  // total.  High degree -> high initial gain -> head of CLIP's zero-gain
+  // bucket, and large area -> illegal move: exactly the corking
+  // precondition of Sec. 2.3.  These cells are also what makes
+  // "actual areas" instances qualitatively different from unit-area
+  // MCNC-style instances (Sec. 2.3, footnote 4).
+  const std::size_t n_macros = std::min(config.num_macros, n_cells / 4);
+  if (n_macros > 0) {
+    std::vector<VertexId> by_degree(n_cells);
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::nth_element(by_degree.begin(), by_degree.begin() + n_macros - 1,
+                     by_degree.end(), [&](VertexId a, VertexId b) {
+                       return cell_degree[a] > cell_degree[b];
+                     });
+    for (std::size_t m = 0; m < n_macros; ++m) {
+      const VertexId v = by_degree[m];
+      const double lo = config.macro_area_min_fraction;
+      const double hi = config.macro_area_max_fraction;
+      // The first macro pins the top of the range so every instance has
+      // at least one cell exceeding a 2% balance window.
+      double frac = (m == 0) ? hi : std::min(hi, rng.pareto(lo, 1.2));
+      const auto area = std::max<Weight>(
+          1, static_cast<Weight>(frac * static_cast<double>(standard_total)));
+      builder.set_vertex_weight(v, area);
+    }
+  }
+
+  return builder.finalize(config.name);
+}
+
+GenConfig preset(const std::string& name) {
+  // Published ISPD98 suite sizes (Alpert [2], Table 1): (cells+pads, nets).
+  // We approximate modules ~ cells + pads with the published counts.
+  struct IbmPreset {
+    const char* name;
+    std::size_t modules;
+    std::size_t nets;
+    std::size_t pads;
+  };
+  static const IbmPreset kIbm[] = {
+      {"ibm01", 12752, 14111, 246},   {"ibm02", 19601, 19584, 259},
+      {"ibm03", 23136, 27401, 283},   {"ibm04", 27507, 31970, 287},
+      {"ibm05", 29347, 28446, 1201},  {"ibm06", 32498, 34826, 166},
+      {"ibm07", 45926, 48117, 287},   {"ibm08", 51309, 50513, 286},
+      {"ibm09", 53395, 60902, 285},   {"ibm10", 69429, 75196, 744},
+      {"ibm11", 70558, 81454, 406},   {"ibm12", 71076, 77240, 637},
+      {"ibm13", 84199, 99666, 490},   {"ibm14", 147605, 152772, 517},
+      {"ibm15", 161570, 186608, 383}, {"ibm16", 183484, 190048, 504},
+      {"ibm17", 185495, 189581, 743}, {"ibm18", 210613, 201920, 272},
+  };
+
+  for (const auto& p : kIbm) {
+    if (name == p.name) {
+      GenConfig c;
+      c.name = p.name;
+      c.num_pads = p.pads;
+      c.num_cells = p.modules - p.pads;
+      // Regular nets = published nets minus the huge/pad nets we add.
+      c.num_huge_nets = 3 + (p.modules / 50000);
+      c.num_nets = p.nets > (c.num_huge_nets + c.num_pads)
+                       ? p.nets - c.num_huge_nets - c.num_pads
+                       : p.nets;
+      // Macro count grows slowly with design size; larger suite members
+      // have more and bigger macros (per the ISPD98 errata discussion).
+      c.num_macros = 8 + p.modules / 10000;
+      // Distinct seed per instance so the suite is diverse.
+      c.seed = 0x1BD0'0000ULL + static_cast<std::uint64_t>(p.modules);
+      return c;
+    }
+  }
+
+  if (name == "tiny") {
+    GenConfig c;
+    c.name = "tiny";
+    c.num_cells = 64;
+    c.num_pads = 8;
+    c.num_nets = 80;
+    c.num_macros = 2;
+    c.num_huge_nets = 1;
+    c.seed = 7;
+    return c;
+  }
+  if (name == "small") {
+    GenConfig c;
+    c.name = "small";
+    c.num_cells = 600;
+    c.num_pads = 24;
+    c.num_nets = 700;
+    c.num_macros = 4;
+    c.num_huge_nets = 2;
+    c.seed = 11;
+    return c;
+  }
+  if (name == "medium") {
+    GenConfig c;
+    c.name = "medium";
+    c.num_cells = 4000;
+    c.num_pads = 80;
+    c.num_nets = 4500;
+    c.num_macros = 8;
+    c.num_huge_nets = 3;
+    c.seed = 13;
+    return c;
+  }
+  throw std::invalid_argument("unknown preset: " + name);
+}
+
+std::vector<std::string> ibm_preset_names() {
+  std::vector<std::string> names;
+  for (int i = 1; i <= 18; ++i) {
+    names.push_back("ibm" + std::string(i < 10 ? "0" : "") +
+                    std::to_string(i));
+  }
+  return names;
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,117 @@
+#include "src/hypergraph/contraction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+namespace {
+
+// 64-bit FNV-1a over a pin vector, used to bucket candidate parallel nets.
+std::uint64_t hash_pins(const std::vector<VertexId>& pins) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const VertexId v : pins) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ContractionResult contract(const Hypergraph& h,
+                           const std::vector<VertexId>& cluster_of) {
+  VP_CHECK(cluster_of.size() == h.num_vertices(),
+           "cluster map covers all vertices");
+
+  ContractionResult result;
+
+  // Renumber cluster ids densely in order of first appearance so the
+  // coarse vertex numbering is deterministic.
+  std::unordered_map<VertexId, VertexId> renumber;
+  renumber.reserve(cluster_of.size());
+  result.fine_to_coarse.resize(cluster_of.size());
+  for (std::size_t v = 0; v < cluster_of.size(); ++v) {
+    const auto [it, inserted] = renumber.try_emplace(
+        cluster_of[v], static_cast<VertexId>(renumber.size()));
+    result.fine_to_coarse[v] = it->second;
+    (void)inserted;
+  }
+  const std::size_t nc = renumber.size();
+  result.num_coarse_vertices = nc;
+
+  HypergraphBuilder builder(nc);
+  {
+    std::vector<Weight> weights(nc, 0);
+    for (std::size_t v = 0; v < cluster_of.size(); ++v) {
+      weights[result.fine_to_coarse[v]] +=
+          h.vertex_weight(static_cast<VertexId>(v));
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+      builder.set_vertex_weight(static_cast<VertexId>(c), weights[c]);
+    }
+  }
+
+  // Rewrite each net onto coarse ids; dedup pins; collect candidates for
+  // parallel-net merging keyed by (hash, size).
+  struct PendingNet {
+    std::vector<VertexId> pins;
+    Weight weight;
+  };
+  std::vector<PendingNet> pending;
+  pending.reserve(h.num_edges());
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
+  std::vector<VertexId> coarse_pins;
+
+  for (std::size_t e = 0; e < h.num_edges(); ++e) {
+    coarse_pins.clear();
+    for (const VertexId v : h.pins(static_cast<EdgeId>(e))) {
+      coarse_pins.push_back(result.fine_to_coarse[v]);
+    }
+    std::sort(coarse_pins.begin(), coarse_pins.end());
+    coarse_pins.erase(std::unique(coarse_pins.begin(), coarse_pins.end()),
+                      coarse_pins.end());
+    if (coarse_pins.size() < 2) {
+      ++result.nets_collapsed;
+      continue;
+    }
+    const std::uint64_t hash = hash_pins(coarse_pins);
+    bool merged = false;
+    if (auto it = by_hash.find(hash); it != by_hash.end()) {
+      for (const std::size_t idx : it->second) {
+        if (pending[idx].pins == coarse_pins) {
+          pending[idx].weight += h.edge_weight(static_cast<EdgeId>(e));
+          ++result.nets_merged;
+          merged = true;
+          break;
+        }
+      }
+    }
+    if (!merged) {
+      by_hash[hash].push_back(pending.size());
+      pending.push_back(
+          {coarse_pins, h.edge_weight(static_cast<EdgeId>(e))});
+    }
+  }
+
+  for (const auto& net : pending) {
+    builder.add_edge(net.pins, net.weight);
+  }
+  result.coarse = builder.finalize(h.name() + ".coarse");
+  return result;
+}
+
+std::vector<PartId> project_partition(
+    const std::vector<VertexId>& fine_to_coarse,
+    const std::vector<PartId>& coarse_parts) {
+  std::vector<PartId> fine(fine_to_coarse.size(), kNoPart);
+  for (std::size_t v = 0; v < fine_to_coarse.size(); ++v) {
+    VP_CHECK(fine_to_coarse[v] < coarse_parts.size(),
+             "coarse id in range during projection");
+    fine[v] = coarse_parts[fine_to_coarse[v]];
+  }
+  return fine;
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,41 @@
+// Hypergraph contraction: collapse vertex clusters into coarse vertices.
+//
+// This is the workhorse of multilevel coarsening (Sec. 2.2's "ML" engines
+// and the hMetis-like partitioner of Tables 4-5).  Given a cluster map
+// (vertex -> cluster id), contraction:
+//   * sums vertex weights per cluster,
+//   * rewrites each net onto cluster ids, dropping nets that collapse to a
+//     single cluster,
+//   * merges parallel nets (identical pin sets) by summing their weights.
+#pragma once
+
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+
+namespace vlsipart {
+
+struct ContractionResult {
+  Hypergraph coarse;
+  /// fine vertex -> coarse vertex (the normalized cluster map).
+  std::vector<VertexId> fine_to_coarse;
+  std::size_t num_coarse_vertices = 0;
+  /// Nets dropped because all pins landed in one cluster.
+  std::size_t nets_collapsed = 0;
+  /// Nets merged into an identical surviving net.
+  std::size_t nets_merged = 0;
+};
+
+/// Contract `h` according to `cluster_of` (size num_vertices; cluster ids
+/// need not be dense — they are renumbered).  Edge weights of merged
+/// parallel nets are summed so that coarse cut equals fine cut for any
+/// partition that respects the clusters.
+ContractionResult contract(const Hypergraph& h,
+                           const std::vector<VertexId>& cluster_of);
+
+/// Project a coarse 2-way assignment back onto the fine hypergraph.
+std::vector<PartId> project_partition(
+    const std::vector<VertexId>& fine_to_coarse,
+    const std::vector<PartId>& coarse_parts);
+
+}  // namespace vlsipart

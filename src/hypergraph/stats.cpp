@@ -1,0 +1,70 @@
+#include "src/hypergraph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vlsipart {
+
+InstanceStats compute_stats(const Hypergraph& h,
+                            std::size_t huge_net_threshold) {
+  InstanceStats s;
+  s.num_vertices = h.num_vertices();
+  s.num_edges = h.num_edges();
+  s.num_pins = h.num_pins();
+  s.huge_net_threshold = huge_net_threshold;
+  s.net_size_histogram.assign(65, 0);
+
+  for (std::size_t v = 0; v < s.num_vertices; ++v) {
+    s.max_vertex_degree =
+        std::max(s.max_vertex_degree, h.degree(static_cast<VertexId>(v)));
+  }
+  for (std::size_t e = 0; e < s.num_edges; ++e) {
+    const std::size_t sz = h.edge_size(static_cast<EdgeId>(e));
+    s.max_net_size = std::max(s.max_net_size, sz);
+    if (sz >= huge_net_threshold) ++s.num_huge_nets;
+    const std::size_t bucket = std::min(sz, s.net_size_histogram.size() - 1);
+    ++s.net_size_histogram[bucket];
+  }
+  if (s.num_vertices > 0) {
+    s.avg_vertex_degree =
+        static_cast<double>(s.num_pins) / static_cast<double>(s.num_vertices);
+    s.edge_vertex_ratio = static_cast<double>(s.num_edges) /
+                          static_cast<double>(s.num_vertices);
+  }
+  if (s.num_edges > 0) {
+    s.avg_net_size =
+        static_cast<double>(s.num_pins) / static_cast<double>(s.num_edges);
+  }
+
+  s.total_area = h.total_vertex_weight();
+  s.max_area = h.max_vertex_weight();
+  s.min_area = s.num_vertices ? h.vertex_weight(0) : 0;
+  for (std::size_t v = 0; v < s.num_vertices; ++v) {
+    s.min_area = std::min(s.min_area, h.vertex_weight(static_cast<VertexId>(v)));
+  }
+  if (s.num_vertices > 0) {
+    s.avg_area = static_cast<double>(s.total_area) /
+                 static_cast<double>(s.num_vertices);
+    if (s.avg_area > 0.0) {
+      s.area_spread = static_cast<double>(s.max_area) / s.avg_area;
+    }
+  }
+  return s;
+}
+
+std::string InstanceStats::to_string(const std::string& name) const {
+  std::ostringstream out;
+  if (!name.empty()) out << name << ": ";
+  out << num_vertices << " vertices, " << num_edges << " nets, " << num_pins
+      << " pins\n"
+      << "  avg degree " << avg_vertex_degree << " (max "
+      << max_vertex_degree << "), avg net size " << avg_net_size << " (max "
+      << max_net_size << ")\n"
+      << "  nets/vertices " << edge_vertex_ratio << ", huge nets (>="
+      << huge_net_threshold << " pins): " << num_huge_nets << "\n"
+      << "  area total " << total_area << ", avg " << avg_area << ", max "
+      << max_area << " (spread " << area_spread << "x)";
+  return out.str();
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,53 @@
+// Instance statistics.
+//
+// Section 2.1 of the paper characterizes "salient attributes of real-world
+// inputs" (size, sparsity, degree and net-size averages, huge nets, wide
+// area variation).  InstanceStats computes exactly those attributes so the
+// synthetic generator can be audited against the published ISPD98
+// parameters, and so a user can inspect any loaded instance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+
+namespace vlsipart {
+
+struct InstanceStats {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_pins = 0;
+
+  double avg_vertex_degree = 0.0;
+  std::size_t max_vertex_degree = 0;
+  double avg_net_size = 0.0;
+  std::size_t max_net_size = 0;
+  /// Count of nets with at least `huge_net_threshold` pins.
+  std::size_t num_huge_nets = 0;
+  std::size_t huge_net_threshold = 0;
+
+  Weight total_area = 0;
+  Weight max_area = 0;
+  Weight min_area = 0;
+  double avg_area = 0.0;
+  /// max area / average area — the paper's "wide variation in vertex
+  /// weights"; > 100 on actual-area ISPD98 instances with macros.
+  double area_spread = 0.0;
+  /// |E| / |V| — "number of hyperedges very close to number of vertices".
+  double edge_vertex_ratio = 0.0;
+
+  /// Histogram of net sizes: net_size_histogram[k] = #nets with k pins
+  /// (sizes above the last bucket are clamped into it).
+  std::vector<std::size_t> net_size_histogram;
+
+  std::string to_string(const std::string& name = {}) const;
+};
+
+/// Compute all statistics in one O(pins) sweep.
+/// huge_net_threshold defaults to 100 pins ("clock, reset" class nets).
+InstanceStats compute_stats(const Hypergraph& h,
+                            std::size_t huge_net_threshold = 100);
+
+}  // namespace vlsipart

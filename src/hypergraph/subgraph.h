@@ -1,0 +1,46 @@
+// Induced sub-hypergraphs and connectivity utilities.
+//
+// Top-down flows (recursive bisection, placement) repeatedly restrict a
+// netlist to a block of cells: nets are projected onto their internal
+// pins and dropped when fewer than two remain.  Connected components are
+// a standard instance-hygiene check (a disconnected benchmark can make
+// cuts of 0 trivially achievable and skew comparisons).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+
+namespace vlsipart {
+
+struct Subhypergraph {
+  Hypergraph graph;
+  /// Sub vertex id -> original vertex id.
+  std::vector<VertexId> to_original;
+  /// Original edge id of each sub edge.
+  std::vector<EdgeId> edge_to_original;
+  /// Nets with at least one internal pin that were dropped because
+  /// fewer than 2 pins were internal.  (Nets entirely outside the block
+  /// are never visited and not counted.)
+  std::size_t nets_dropped = 0;
+};
+
+/// Restrict `h` to `vertices` (order defines the sub ids; duplicates are
+/// rejected).  Each net keeps its internal pins only; nets with < 2
+/// internal pins are dropped.  Vertex and edge weights carry over.
+Subhypergraph extract_subhypergraph(const Hypergraph& h,
+                                    std::span<const VertexId> vertices);
+
+/// Connected components over the "share a net" relation.
+/// Returns component id per vertex, dense in [0, num_components).
+struct Components {
+  std::vector<std::uint32_t> component_of;
+  std::size_t num_components = 0;
+  /// Vertex count of each component.
+  std::vector<std::size_t> sizes;
+};
+
+Components connected_components(const Hypergraph& h);
+
+}  // namespace vlsipart

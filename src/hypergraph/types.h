@@ -1,0 +1,27 @@
+// Fundamental identifier and weight types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vlsipart {
+
+/// Vertex (cell/module) index, dense in [0, num_vertices).
+using VertexId = std::uint32_t;
+/// Hyperedge (net) index, dense in [0, num_edges).
+using EdgeId = std::uint32_t;
+/// Vertex/edge weight.  Signed 64-bit: areas of ISPD98-scale instances
+/// sum far beyond 32 bits and gain arithmetic needs signed values.
+using Weight = std::int64_t;
+/// FM gain value (signed; bounded by +-max weighted degree).
+using Gain = std::int64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Partition block index for 2-way partitioning.
+using PartId = std::uint8_t;
+inline constexpr PartId kNoPart = 255;
+
+}  // namespace vlsipart

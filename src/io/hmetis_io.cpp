@@ -1,0 +1,145 @@
+#include "src/io/hmetis_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+namespace {
+
+/// Read the next non-comment, non-blank line; false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i == line.size() || line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Hypergraph read_hmetis(std::istream& in, std::string name) {
+  std::string line;
+  if (!next_content_line(in, line)) {
+    throw std::runtime_error("hmetis: empty input");
+  }
+  std::istringstream header(line);
+  std::size_t num_edges = 0;
+  std::size_t num_vertices = 0;
+  int fmt = 0;
+  header >> num_edges >> num_vertices;
+  if (!header) throw std::runtime_error("hmetis: bad header line");
+  header >> fmt;  // optional
+  const bool edge_weights = (fmt == 1 || fmt == 11);
+  const bool vertex_weights = (fmt == 10 || fmt == 11);
+  if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) {
+    throw std::runtime_error("hmetis: unsupported fmt " + std::to_string(fmt));
+  }
+
+  HypergraphBuilder builder(num_vertices);
+  std::vector<VertexId> pins;
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    if (!next_content_line(in, line)) {
+      throw std::runtime_error("hmetis: truncated edge list at edge " +
+                               std::to_string(e));
+    }
+    std::istringstream row(line);
+    Weight w = 1;
+    if (edge_weights) {
+      row >> w;
+      if (!row) throw std::runtime_error("hmetis: missing edge weight");
+    }
+    pins.clear();
+    std::size_t v1 = 0;
+    while (row >> v1) {
+      if (v1 < 1 || v1 > num_vertices) {
+        throw std::runtime_error("hmetis: pin out of range: " +
+                                 std::to_string(v1));
+      }
+      pins.push_back(static_cast<VertexId>(v1 - 1));
+    }
+    builder.add_edge(pins, w);
+  }
+  if (vertex_weights) {
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+      if (!next_content_line(in, line)) {
+        throw std::runtime_error("hmetis: truncated vertex weights");
+      }
+      std::istringstream row(line);
+      Weight w = 0;
+      row >> w;
+      if (!row || w <= 0) {
+        throw std::runtime_error("hmetis: bad vertex weight at vertex " +
+                                 std::to_string(v + 1));
+      }
+      builder.set_vertex_weight(static_cast<VertexId>(v), w);
+    }
+  }
+  return builder.finalize(std::move(name));
+}
+
+Hypergraph read_hmetis_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("hmetis: cannot open " + path);
+  // Instance name = basename without extension.
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return read_hmetis(in, name);
+}
+
+void write_hmetis(const Hypergraph& h, std::ostream& out) {
+  bool any_edge_weight = false;
+  for (std::size_t e = 0; e < h.num_edges(); ++e) {
+    if (h.edge_weight(static_cast<EdgeId>(e)) != 1) {
+      any_edge_weight = true;
+      break;
+    }
+  }
+  bool any_vertex_weight = false;
+  for (std::size_t v = 0; v < h.num_vertices(); ++v) {
+    if (h.vertex_weight(static_cast<VertexId>(v)) != 1) {
+      any_vertex_weight = true;
+      break;
+    }
+  }
+  int fmt = 0;
+  if (any_edge_weight) fmt += 1;
+  if (any_vertex_weight) fmt += 10;
+
+  out << h.num_edges() << ' ' << h.num_vertices();
+  if (fmt != 0) out << ' ' << fmt;
+  out << '\n';
+  for (std::size_t e = 0; e < h.num_edges(); ++e) {
+    if (any_edge_weight) out << h.edge_weight(static_cast<EdgeId>(e)) << ' ';
+    bool first = true;
+    for (const VertexId v : h.pins(static_cast<EdgeId>(e))) {
+      if (!first) out << ' ';
+      out << (v + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+  if (any_vertex_weight) {
+    for (std::size_t v = 0; v < h.num_vertices(); ++v) {
+      out << h.vertex_weight(static_cast<VertexId>(v)) << '\n';
+    }
+  }
+}
+
+void write_hmetis_file(const Hypergraph& h, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("hmetis: cannot write " + path);
+  write_hmetis(h, out);
+}
+
+}  // namespace vlsipart

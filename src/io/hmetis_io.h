@@ -1,0 +1,25 @@
+// Reader/writer for the hMetis .hgr hypergraph format.
+//
+// Format (hMetis-1.5 manual [28]):
+//   line 1: <#hyperedges> <#vertices> [fmt]
+//     fmt: omitted/0 = unweighted, 1 = edge weights,
+//          10 = vertex weights, 11 = both.
+//   next #hyperedges lines: [edge-weight] v1 v2 ... (1-based vertex ids)
+//   if vertex weights: #vertices further lines with one weight each.
+// Lines starting with '%' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/hypergraph/hypergraph.h"
+
+namespace vlsipart {
+
+Hypergraph read_hmetis(std::istream& in, std::string name = {});
+Hypergraph read_hmetis_file(const std::string& path);
+
+void write_hmetis(const Hypergraph& h, std::ostream& out);
+void write_hmetis_file(const Hypergraph& h, const std::string& path);
+
+}  // namespace vlsipart

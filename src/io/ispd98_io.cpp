@@ -1,0 +1,185 @@
+#include "src/io/ispd98_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+namespace {
+
+std::size_t read_count_line(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error(std::string("ispd98: missing ") + what);
+  }
+  std::istringstream row(line);
+  std::size_t value = 0;
+  row >> value;
+  if (!row) {
+    throw std::runtime_error(std::string("ispd98: bad ") + what + ": " + line);
+  }
+  return value;
+}
+
+/// Translate an ISPD98 module name to a dense vertex id.
+/// Cells "aN" map to N; pads "pN" (1-based) map to num_cells + N - 1.
+VertexId module_to_vertex(const std::string& name, std::size_t num_cells,
+                          std::size_t num_pads) {
+  if (name.size() < 2 || (name[0] != 'a' && name[0] != 'p')) {
+    throw std::runtime_error("ispd98: unrecognized module name " + name);
+  }
+  const std::size_t index = std::stoull(name.substr(1));
+  if (name[0] == 'a') {
+    if (index >= num_cells) {
+      throw std::runtime_error("ispd98: cell index out of range: " + name);
+    }
+    return static_cast<VertexId>(index);
+  }
+  if (index < 1 || index > num_pads) {
+    throw std::runtime_error("ispd98: pad index out of range: " + name);
+  }
+  return static_cast<VertexId>(num_cells + index - 1);
+}
+
+std::string vertex_to_module(VertexId v, std::size_t num_cells) {
+  if (v < num_cells) return "a" + std::to_string(v);
+  return "p" + std::to_string(v - num_cells + 1);
+}
+
+}  // namespace
+
+Ispd98Instance read_ispd98(std::istream& net_in, std::istream& are_in,
+                           std::string name) {
+  // Header.
+  (void)read_count_line(net_in, "ignore field");
+  const std::size_t num_pins = read_count_line(net_in, "pin count");
+  const std::size_t num_nets = read_count_line(net_in, "net count");
+  const std::size_t num_modules = read_count_line(net_in, "module count");
+  const std::size_t pad_offset = read_count_line(net_in, "pad offset");
+  // By ISPD98 convention pad_offset is the index of the last cell module;
+  // modules beyond it are pads.  Files use pad_offset = num_cells - 1.
+  const std::size_t num_cells = pad_offset + 1;
+  if (num_cells > num_modules) {
+    throw std::runtime_error("ispd98: pad offset beyond module count");
+  }
+  const std::size_t num_pads = num_modules - num_cells;
+
+  HypergraphBuilder builder(num_modules);
+
+  // Pin lines.
+  std::vector<VertexId> current_net;
+  std::vector<std::vector<VertexId>> nets;
+  nets.reserve(num_nets);
+  std::string line;
+  std::size_t pins_seen = 0;
+  while (pins_seen < num_pins && std::getline(net_in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string module;
+    std::string marker;
+    row >> module >> marker;
+    if (!row && marker.empty()) continue;
+    if (marker != "s" && marker != "l") {
+      throw std::runtime_error("ispd98: bad pin marker: " + line);
+    }
+    if (marker == "s" && !current_net.empty()) {
+      nets.push_back(current_net);
+      current_net.clear();
+    }
+    current_net.push_back(module_to_vertex(module, num_cells, num_pads));
+    ++pins_seen;
+  }
+  if (!current_net.empty()) nets.push_back(current_net);
+  if (pins_seen != num_pins) {
+    throw std::runtime_error("ispd98: pin count mismatch: header says " +
+                             std::to_string(num_pins) + ", saw " +
+                             std::to_string(pins_seen));
+  }
+  if (nets.size() != num_nets) {
+    // Some distributions count degenerate nets differently; warn, accept.
+    VP_WARN("ispd98: header net count " << num_nets << " but parsed "
+                                        << nets.size());
+  }
+  for (const auto& net : nets) builder.add_edge(net);
+
+  // Areas.
+  std::size_t areas_seen = 0;
+  while (std::getline(are_in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string module;
+    Weight area = 0;
+    row >> module >> area;
+    if (!row) throw std::runtime_error("ispd98: bad area line: " + line);
+    if (area <= 0) area = 1;  // pads commonly have area 0; clamp to 1
+    builder.set_vertex_weight(module_to_vertex(module, num_cells, num_pads),
+                              area);
+    ++areas_seen;
+  }
+  if (areas_seen != num_modules) {
+    VP_WARN("ispd98: module count " << num_modules << " but " << areas_seen
+                                    << " area lines");
+  }
+
+  Ispd98Instance inst;
+  inst.hypergraph = builder.finalize(std::move(name));
+  inst.num_cells = num_cells;
+  inst.num_pads = num_pads;
+  return inst;
+}
+
+Ispd98Instance read_ispd98_files(const std::string& basepath) {
+  std::ifstream net_in(basepath + ".netD");
+  if (!net_in) {
+    net_in.open(basepath + ".net");
+  }
+  if (!net_in) {
+    throw std::runtime_error("ispd98: cannot open " + basepath +
+                             ".netD or .net");
+  }
+  std::ifstream are_in(basepath + ".are");
+  if (!are_in) throw std::runtime_error("ispd98: cannot open " + basepath + ".are");
+  std::string name = basepath;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  return read_ispd98(net_in, are_in, name);
+}
+
+void write_ispd98(const Ispd98Instance& inst, std::ostream& net_out,
+                  std::ostream& are_out) {
+  const Hypergraph& h = inst.hypergraph;
+  net_out << 0 << '\n'
+          << h.num_pins() << '\n'
+          << h.num_edges() << '\n'
+          << h.num_vertices() << '\n'
+          << (inst.num_cells == 0 ? 0 : inst.num_cells - 1) << '\n';
+  for (std::size_t e = 0; e < h.num_edges(); ++e) {
+    bool first = true;
+    for (const VertexId v : h.pins(static_cast<EdgeId>(e))) {
+      net_out << vertex_to_module(v, inst.num_cells) << ' '
+              << (first ? 's' : 'l') << '\n';
+      first = false;
+    }
+  }
+  for (std::size_t v = 0; v < h.num_vertices(); ++v) {
+    are_out << vertex_to_module(static_cast<VertexId>(v), inst.num_cells)
+            << ' ' << h.vertex_weight(static_cast<VertexId>(v)) << '\n';
+  }
+}
+
+void write_ispd98_files(const Ispd98Instance& inst,
+                        const std::string& basepath) {
+  std::ofstream net_out(basepath + ".netD");
+  std::ofstream are_out(basepath + ".are");
+  if (!net_out || !are_out) {
+    throw std::runtime_error("ispd98: cannot write " + basepath);
+  }
+  write_ispd98(inst, net_out, are_out);
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,44 @@
+#include "src/io/partition_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vlsipart {
+
+std::vector<PartId> read_partition(std::istream& in) {
+  std::vector<PartId> parts;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    int p = -1;
+    row >> p;
+    if (!row || p < 0 || p > 254) {
+      throw std::runtime_error("partition: bad part id line: " + line);
+    }
+    parts.push_back(static_cast<PartId>(p));
+  }
+  return parts;
+}
+
+std::vector<PartId> read_partition_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("partition: cannot open " + path);
+  return read_partition(in);
+}
+
+void write_partition(const std::vector<PartId>& parts, std::ostream& out) {
+  for (const PartId p : parts) {
+    out << static_cast<int>(p) << '\n';
+  }
+}
+
+void write_partition_file(const std::vector<PartId>& parts,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("partition: cannot write " + path);
+  write_partition(parts, out);
+}
+
+}  // namespace vlsipart

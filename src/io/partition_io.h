@@ -1,0 +1,20 @@
+// Partition-solution file IO (one part id per line, vertex order),
+// matching the output convention of hMetis' .part files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/hypergraph/types.h"
+
+namespace vlsipart {
+
+std::vector<PartId> read_partition(std::istream& in);
+std::vector<PartId> read_partition_file(const std::string& path);
+
+void write_partition(const std::vector<PartId>& parts, std::ostream& out);
+void write_partition_file(const std::vector<PartId>& parts,
+                          const std::string& path);
+
+}  // namespace vlsipart

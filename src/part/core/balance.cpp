@@ -1,0 +1,45 @@
+#include "src/part/core/balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+
+BalanceConstraint BalanceConstraint::from_tolerance(Weight total_weight,
+                                                    double tolerance) {
+  VP_CHECK(total_weight > 0, "total weight positive");
+  VP_CHECK(tolerance >= 0.0 && tolerance < 1.0, "tolerance in [0,1)");
+  BalanceConstraint b;
+  b.total_ = total_weight;
+  const double half = 0.5 + tolerance / 2.0;
+  b.max_ = static_cast<Weight>(
+      std::floor(static_cast<double>(total_weight) * half));
+  // Symmetric window; guarantee max >= ceil(total/2) so exact bisection
+  // (up to parity) is always admissible.
+  b.max_ = std::max(b.max_, (total_weight + 1) / 2);
+  b.min_ = total_weight - b.max_;
+  return b;
+}
+
+BalanceConstraint BalanceConstraint::from_bounds(Weight total_weight,
+                                                 Weight min_part,
+                                                 Weight max_part) {
+  VP_CHECK(total_weight > 0, "total weight positive");
+  VP_CHECK(min_part <= max_part, "min <= max");
+  BalanceConstraint b;
+  b.total_ = total_weight;
+  b.min_ = std::max<Weight>(0, min_part);
+  b.max_ = std::min(total_weight, max_part);
+  return b;
+}
+
+std::string BalanceConstraint::to_string() const {
+  std::ostringstream out;
+  out << "[" << min_ << ", " << max_ << "] of " << total_;
+  return out.str();
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,55 @@
+// Balance constraints for 2-way partitioning.
+//
+// The paper reports at "traditional balance constraints of 2% (partition
+// areas between 49% and 51% of total cell area) and 10% (between 45% and
+// 55%)" (Sec. 3.2).  A tolerance t therefore allows each part weight to
+// deviate +-t/2 from exact bisection.
+#pragma once
+
+#include <string>
+
+#include "src/hypergraph/types.h"
+
+namespace vlsipart {
+
+class BalanceConstraint {
+ public:
+  BalanceConstraint() = default;
+
+  /// tolerance = full window width as a fraction of total weight
+  /// (0.02 -> parts in [49%, 51%]).  tolerance 0 = exact bisection
+  /// (parts differ by at most the parity remainder).
+  static BalanceConstraint from_tolerance(Weight total_weight,
+                                          double tolerance);
+
+  /// Explicit bounds; max is clamped to total and min to >= 0.
+  static BalanceConstraint from_bounds(Weight total_weight, Weight min_part,
+                                       Weight max_part);
+
+  Weight total() const { return total_; }
+  Weight min_part() const { return min_; }
+  Weight max_part() const { return max_; }
+  /// Width of the feasible window (max - min); the corking fix of
+  /// Sec. 2.3 excludes cells heavier than this from the gain structure
+  /// because they can never move between two feasible solutions.
+  Weight window() const { return max_ - min_; }
+
+  /// Is a solution with part-0 weight w0 feasible?
+  bool feasible(Weight w0) const { return w0 >= min_ && w0 <= max_; }
+
+  /// Is moving a vertex of weight w from part `from` legal, given current
+  /// part-0 weight w0?  Legal = both resulting parts stay in window.
+  bool move_legal(Weight w0, Weight w, PartId from) const {
+    const Weight new_w0 = (from == 0) ? w0 - w : w0 + w;
+    return feasible(new_w0);
+  }
+
+  std::string to_string() const;
+
+ private:
+  Weight total_ = 0;
+  Weight min_ = 0;
+  Weight max_ = 0;
+};
+
+}  // namespace vlsipart

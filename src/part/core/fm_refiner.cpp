@@ -1,0 +1,386 @@
+#include "src/part/core/fm_refiner.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+
+FmRefiner::FmRefiner(const PartitionProblem& problem, FmConfig config)
+    : problem_(&problem),
+      config_(config),
+      container_(problem.graph->num_vertices(), config.insert_order),
+      locked_(problem.graph->num_vertices(), 0) {
+  // Keys are bounded by the weighted degree for classic FM and by twice
+  // the weighted degree for CLIP (cumulative delta gain = actual gain
+  // minus initial gain).  Size the bucket range for the worst case.
+  const Hypergraph& h = *problem.graph;
+  Gain max_wdeg = 0;
+  for (std::size_t v = 0; v < h.num_vertices(); ++v) {
+    Gain wdeg = 0;
+    for (const EdgeId e : h.incident_edges(static_cast<VertexId>(v))) {
+      wdeg += h.edge_weight(e);
+    }
+    max_wdeg = std::max(max_wdeg, wdeg);
+  }
+  max_abs_gain_ = 2 * max_wdeg;
+  use_lookahead_ = config_.lookahead_depth > 1 && !config_.clip;
+}
+
+void FmRefiner::lookahead_vector(const PartitionState& state, VertexId v,
+                                 std::vector<Gain>& out) const {
+  const Hypergraph& h = *problem_->graph;
+  const PartId from = state.part(v);
+  const PartId to = from ^ 1;
+  const auto depth = static_cast<std::size_t>(config_.lookahead_depth);
+  out.assign(depth - 1, 0);
+  for (const EdgeId e : h.incident_edges(v)) {
+    const Weight w = h.edge_weight(e);
+    const std::uint32_t locked_from = locked_in_[from][e];
+    const std::uint32_t locked_to = locked_in_[to][e];
+    // Binding number beta_X(n): free pins of n in X, infinite (never
+    // counted) when X holds a locked pin of n [30].
+    if (locked_from == 0) {
+      const std::uint32_t free_from = state.pins_in(e, from);
+      if (free_from >= 2 && free_from <= depth) {
+        out[free_from - 2] += w;  // level-k positive term, k = free_from
+      }
+    }
+    if (locked_to == 0) {
+      const std::uint32_t free_to = state.pins_in(e, to) - locked_to;
+      if (free_to >= 1 && free_to + 1 <= depth) {
+        out[free_to - 1] -= w;  // level-(free_to+1) negative term
+      }
+    }
+  }
+}
+
+VertexId FmRefiner::lookahead_pick(const PartitionState& state,
+                                   VertexId head) const {
+  VertexId best = kInvalidVertex;
+  std::vector<Gain> best_vec;
+  std::vector<Gain> vec;
+  std::size_t scanned = 0;
+  for (VertexId v = head;
+       v != kInvalidVertex && scanned < config_.lookahead_scan_limit;
+       v = container_.next_in_bucket(v), ++scanned) {
+    if (!move_allowed(state, v)) continue;
+    lookahead_vector(state, v, vec);
+    if (best == kInvalidVertex || vec > best_vec) {
+      best = v;
+      best_vec = vec;
+    }
+  }
+  return best;
+}
+
+Weight FmRefiner::imbalance(Weight w0) const {
+  const BalanceConstraint& b = problem_->balance;
+  if (w0 < b.min_part()) return b.min_part() - w0;
+  if (w0 > b.max_part()) return w0 - b.max_part();
+  return 0;
+}
+
+bool FmRefiner::move_allowed(const PartitionState& state, VertexId v) const {
+  const Weight w = problem_->graph->vertex_weight(v);
+  const Weight w0 = state.part_weight(0);
+  const PartId from = state.part(v);
+  if (problem_->balance.move_legal(w0, w, from)) return true;
+  // Recovery rule: from an infeasible state, allow any move that strictly
+  // reduces the balance violation (needed when a coarse solution projects
+  // to an infeasible fine solution during uncoarsening).
+  const Weight new_w0 = (from == 0) ? w0 - w : w0 + w;
+  return imbalance(new_w0) < imbalance(w0);
+}
+
+FmRefiner::Candidate FmRefiner::select_from_side(const PartitionState& state,
+                                                 PartId side) const {
+  Candidate cand;
+  if (container_.size(side) == 0) return cand;
+  Gain key = container_.max_key(side);
+  while (key >= container_.min_representable_key()) {
+    VertexId v = container_.bucket_head(side, key);
+    if (v == kInvalidVertex) {
+      key = container_.next_nonempty_below(side, key);
+      continue;
+    }
+    if (use_lookahead_) {
+      // Krishnamurthy tie-breaking [30]: among the (equal-key) moves at
+      // the top of this bucket, take the legal one with the largest
+      // level-2..r lookahead vector.
+      const VertexId pick = lookahead_pick(state, v);
+      if (pick != kInvalidVertex) {
+        cand.v = pick;
+        cand.key = key;
+        cand.valid = true;
+        return cand;
+      }
+      if (config_.illegal_head == IllegalHeadPolicy::kSkipSide) return cand;
+      key = container_.next_nonempty_below(side, key);
+      continue;
+    }
+    // "FM-based partitioners typically look at only the first move in a
+    // bucket" (Sec. 2.3): if the head is illegal, skip the bucket (or the
+    // whole side), unless look_beyond_first walks the list.
+    while (v != kInvalidVertex) {
+      if (move_allowed(state, v)) {
+        cand.v = v;
+        cand.key = key;
+        cand.valid = true;
+        return cand;
+      }
+      if (!config_.look_beyond_first) break;
+      v = container_.next_in_bucket(v);
+    }
+    if (!config_.look_beyond_first &&
+        config_.illegal_head == IllegalHeadPolicy::kSkipSide) {
+      return cand;  // abandon the side entirely
+    }
+    key = container_.next_nonempty_below(side, key);
+  }
+  return cand;
+}
+
+FmRefiner::Candidate FmRefiner::select_move(const PartitionState& state,
+                                            PartId last_from) const {
+  const Candidate c0 = select_from_side(state, 0);
+  const Candidate c1 = select_from_side(state, 1);
+  if (!c0.valid) return c1;
+  if (!c1.valid) return c0;
+  if (c0.key != c1.key) return c0.key > c1.key ? c0 : c1;
+  // Equal highest keys on both sides: the tie-break the paper studies.
+  switch (config_.tie_break) {
+    case TieBreak::kPart0:
+      return c0;
+    case TieBreak::kAway:
+      // Prefer the side that is NOT the last move's source; before any
+      // move has been made, fall back to partition 0 (deterministic).
+      if (last_from == kNoPart) return c0;
+      return last_from == 0 ? c1 : c0;
+    case TieBreak::kToward:
+      if (last_from == kNoPart) return c0;
+      return last_from == 0 ? c0 : c1;
+  }
+  return c0;
+}
+
+FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
+  const Hypergraph& h = *problem_->graph;
+  const std::size_t n = h.num_vertices();
+  FmPassStats stats;
+  stats.cut_before = state.cut();
+
+  container_.reset(max_abs_gain_);
+  std::fill(locked_.begin(), locked_.end(), 0);
+  move_order_.clear();
+  current_trace_.clear();
+  if (use_lookahead_) {
+    locked_in_[0].assign(h.num_edges(), 0);
+    locked_in_[1].assign(h.num_edges(), 0);
+    // Fixed and excluded vertices never move: treat them as locked so
+    // binding numbers see them as immovable pins.
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto vid = static_cast<VertexId>(v);
+      const bool immovable =
+          problem_->is_fixed(vid) ||
+          (config_.exclude_oversized &&
+           h.vertex_weight(vid) > problem_->balance.window());
+      if (!immovable) continue;
+      for (const EdgeId e : h.incident_edges(vid)) {
+        ++locked_in_[state.part(vid)][e];
+      }
+    }
+  }
+
+  // Build the gain container.  Fixed vertices never enter; oversized
+  // vertices are excluded when the corking fix is on.
+  const Weight window = problem_->balance.window();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<Gain> initial_gain(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    initial_gain[v] = state.gain(static_cast<VertexId>(v));
+  }
+  if (config_.clip) {
+    // CLIP builds the zero-gain buckets with the highest-initial-gain
+    // cells at the heads [15]: insert in ascending initial-gain order so
+    // head-insertion leaves the largest at the front.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](VertexId a, VertexId b) {
+                       return initial_gain[a] < initial_gain[b];
+                     });
+  }
+  for (const VertexId v : order) {
+    if (problem_->is_fixed(v)) continue;
+    if (config_.exclude_oversized && h.vertex_weight(v) > window) {
+      ++stats.oversized_excluded;
+      continue;
+    }
+    if (config_.clip) {
+      // Faithful CLIP head ordering (highest initial gain at the head of
+      // the zero-gain bucket) requires head insertion for the initial
+      // build regardless of the update-time insertion policy.
+      container_.insert_at_head(v, state.part(v), /*key=*/0);
+    } else {
+      container_.insert(v, state.part(v), initial_gain[v], rng);
+    }
+  }
+
+  // Best-prefix tracking.  Key = (imbalance, cut); tie-break per policy.
+  Weight best_cut = stats.cut_before;
+  Weight best_imb = imbalance(state.part_weight(0));
+  auto slack = [&]() {
+    const Weight w0 = state.part_weight(0);
+    return std::min(problem_->balance.max_part() - w0,
+                    w0 - problem_->balance.min_part());
+  };
+  Weight best_slack = slack();
+  std::size_t best_prefix = 0;
+  std::size_t moves_since_best = 0;
+  PartId last_from = kNoPart;
+
+  std::vector<std::uint32_t> old_pins0;
+  std::vector<std::uint32_t> old_pins1;
+
+  while (true) {
+    const Candidate cand = select_move(state, last_from);
+    if (!cand.valid) {
+      stats.stalled = !container_.empty();
+      break;
+    }
+    const VertexId v = cand.v;
+    const PartId from = state.part(v);
+
+    container_.remove(v);
+    locked_[v] = 1;
+
+    // Snapshot per-net pin counts, apply the move, then run the
+    // "four cut values" delta-gain update for every free vertex on every
+    // incident net (the straightforward implementation of Sec. 2.2).
+    const auto nets = h.incident_edges(v);
+    old_pins0.resize(nets.size());
+    old_pins1.resize(nets.size());
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      old_pins0[i] = state.pins_in(nets[i], 0);
+      old_pins1[i] = state.pins_in(nets[i], 1);
+    }
+    state.move(v);
+    last_from = from;
+    move_order_.push_back(v);
+    ++stats.moves_made;
+    if (use_lookahead_) {
+      // v is now locked on its destination side.
+      for (const EdgeId e : nets) {
+        ++locked_in_[from ^ 1][e];
+      }
+    }
+
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      const EdgeId e = nets[i];
+      const Weight ew = h.edge_weight(e);
+      const std::uint32_t new_pins[2] = {state.pins_in(e, 0),
+                                         state.pins_in(e, 1)};
+      const std::uint32_t old_pins[2] = {old_pins0[i], old_pins1[i]};
+      for (const VertexId y : h.pins(e)) {
+        if (y == v || locked_[y] || !container_.contains(y)) continue;
+        const PartId py = state.part(y);
+        const PartId qy = py ^ 1;
+        const Gain old_contrib = (old_pins[py] == 1 ? ew : 0) -
+                                 (old_pins[qy] == 0 ? ew : 0);
+        const Gain new_contrib = (new_pins[py] == 1 ? ew : 0) -
+                                 (new_pins[qy] == 0 ? ew : 0);
+        const Gain delta = new_contrib - old_contrib;
+        if (delta != 0) {
+          container_.update_key(y, delta, rng);
+          ++stats.nonzero_delta_updates;
+        } else if (config_.zero_gain_update == ZeroGainUpdate::kAll) {
+          container_.reinsert(y, rng);
+          ++stats.zero_delta_updates;
+        }
+      }
+    }
+
+    // Best-prefix bookkeeping.
+    const Weight cut = state.cut();
+    if (config_.record_trace) current_trace_.push_back(cut);
+    const Weight imb = imbalance(state.part_weight(0));
+    const Weight slk = slack();
+    bool better = false;
+    if (imb != best_imb) {
+      better = imb < best_imb;
+    } else if (cut != best_cut) {
+      better = cut < best_cut;
+    } else {
+      switch (config_.best_choice) {
+        case BestChoice::kFirst:
+          better = false;
+          break;
+        case BestChoice::kLast:
+          better = true;
+          break;
+        case BestChoice::kBalance:
+          better = slk > best_slack;
+          break;
+      }
+    }
+    if (better) {
+      best_cut = cut;
+      best_imb = imb;
+      best_slack = slk;
+      best_prefix = move_order_.size();
+      moves_since_best = 0;
+    } else {
+      ++moves_since_best;
+      if (config_.max_moves_past_best > 0 &&
+          moves_since_best >= config_.max_moves_past_best) {
+        stats.stalled = !container_.empty();
+        break;
+      }
+    }
+  }
+
+  // Roll back to the best prefix.
+  for (std::size_t i = move_order_.size(); i > best_prefix; --i) {
+    state.move(move_order_[i - 1]);
+  }
+  stats.moves_kept = best_prefix;
+  stats.cut_after = state.cut();
+  stats.zero_move_pass = (stats.moves_made == 0);
+  return stats;
+}
+
+FmResult FmRefiner::refine(PartitionState& state, Rng& rng) {
+  FmResult result;
+  result.initial_cut = state.cut();
+  int pass_count = 0;
+  Weight imb_before = imbalance(state.part_weight(0));
+  while (true) {
+    FmPassStats stats = run_pass(state, rng);
+    ++pass_count;
+    result.total_moves += stats.moves_made;
+    if (stats.zero_move_pass) ++result.zero_move_passes;
+    if (stats.stalled) ++result.stalled_passes;
+    const Weight imb_after = imbalance(state.part_weight(0));
+    // Keep passing while the pass improved either the balance violation
+    // or (at equal violation) the cut.
+    const bool improved =
+        stats.moves_kept > 0 &&
+        (imb_after < imb_before ||
+         (imb_after == imb_before && stats.cut_after < stats.cut_before));
+    imb_before = imb_after;
+    result.pass_stats.push_back(std::move(stats));
+    if (config_.record_trace) {
+      result.pass_traces.push_back(std::move(current_trace_));
+      current_trace_.clear();
+    }
+    if (!improved) break;
+    if (config_.max_passes > 0 && pass_count >= config_.max_passes) break;
+  }
+  result.passes = static_cast<std::size_t>(pass_count);
+  result.final_cut = state.cut();
+  return result;
+}
+
+}  // namespace vlsipart

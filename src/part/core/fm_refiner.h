@@ -1,0 +1,115 @@
+// Fiduccia-Mattheyses pass-based 2-way refinement engine, with the CLIP
+// variant of Dutt-Deng [15], parameterized over every implicit
+// implementation decision the paper studies (see FmConfig).
+//
+// The engine refines a PartitionState in place.  Each pass:
+//   1. computes gains and builds the gain container (CLIP: all keys 0,
+//      heads ordered by descending initial gain, per [15]);
+//   2. repeatedly selects the highest-key legal move — examining only the
+//      first move of each bucket unless look_beyond_first — applies it,
+//      locks the vertex, and updates neighbor gains via the
+//      "four cut values" per-net delta computation, honoring the
+//      zero-delta-gain update policy;
+//   3. rolls back to the best prefix (tie-broken per BestChoice).
+// Passes repeat until no improvement (or max_passes).
+//
+// Pass statistics expose the corking diagnostics of Sec. 2.3:
+// a zero-move pass is exactly a "corked" CLIP pass.
+#pragma once
+
+#include <vector>
+
+#include "src/part/core/fm_config.h"
+#include "src/part/core/gain_container.h"
+#include "src/part/core/partition_state.h"
+#include "src/util/rng.h"
+
+namespace vlsipart {
+
+struct FmPassStats {
+  std::size_t moves_made = 0;
+  std::size_t moves_kept = 0;  ///< best prefix length after rollback
+  Weight cut_before = 0;
+  Weight cut_after = 0;
+  /// Pass ended with vertices still in the gain container (every
+  /// remaining head was illegal) rather than by exhaustion.
+  bool stalled = false;
+  /// Pass made no moves at all — the corking signature.
+  bool zero_move_pass = false;
+  std::size_t zero_delta_updates = 0;
+  std::size_t nonzero_delta_updates = 0;
+  /// Vertices excluded from the gain structure as oversized.
+  std::size_t oversized_excluded = 0;
+};
+
+struct FmResult {
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+  std::size_t passes = 0;
+  std::size_t total_moves = 0;
+  std::size_t zero_move_passes = 0;
+  std::size_t stalled_passes = 0;
+  std::vector<FmPassStats> pass_stats;
+  /// Per-pass cut-after-each-move trajectories; only recorded when
+  /// FmConfig::record_trace is set.  trace[p][m] is the cut after move
+  /// m+1 of pass p (before rollback) — the classic FM pass profile, and
+  /// the raw data behind "traces of CLIP executions show that corking
+  /// actually occurs fairly often" (Sec. 2.3).
+  std::vector<std::vector<Weight>> pass_traces;
+};
+
+class FmRefiner {
+ public:
+  /// The problem (graph/balance/fixed) must outlive the refiner.
+  FmRefiner(const PartitionProblem& problem, FmConfig config);
+
+  /// Refine `state` (already fully assigned) in place.  Deterministic
+  /// given `rng`'s state.  The state's assignment always ends feasible if
+  /// it started feasible (rollback guarantees never-worse cut and
+  /// never-worse balance violation).
+  FmResult refine(PartitionState& state, Rng& rng);
+
+  const FmConfig& config() const { return config_; }
+
+ private:
+  struct Candidate {
+    VertexId v = kInvalidVertex;
+    Gain key = 0;
+    bool valid = false;
+  };
+
+  bool move_allowed(const PartitionState& state, VertexId v) const;
+  Candidate select_from_side(const PartitionState& state, PartId side) const;
+  Candidate select_move(const PartitionState& state, PartId last_from) const;
+  FmPassStats run_pass(PartitionState& state, Rng& rng);
+
+  /// Krishnamurthy level-2..r lookahead gains of v (binding numbers over
+  /// free/locked pin counts); out[k-2] is the level-k gain.
+  void lookahead_vector(const PartitionState& state, VertexId v,
+                        std::vector<Gain>& out) const;
+  /// Within the bucket starting at `head`, pick the legal move with the
+  /// lexicographically largest lookahead vector (scanning at most
+  /// lookahead_scan_limit entries).  kInvalidVertex if none is legal.
+  VertexId lookahead_pick(const PartitionState& state, VertexId head) const;
+
+  /// Imbalance of a part-0 weight: 0 when feasible, else distance to the
+  /// window.  Used so passes started from an infeasible projection (in
+  /// multilevel uncoarsening) first restore feasibility.
+  Weight imbalance(Weight w0) const;
+
+  const PartitionProblem* problem_;
+  FmConfig config_;
+  GainContainer container_;
+  std::vector<std::uint8_t> locked_;
+  std::vector<VertexId> move_order_;
+  Gain max_abs_gain_ = 0;
+  /// Per-net locked pin counts by side; maintained only when lookahead
+  /// tie-breaking is active (binding numbers need free-vs-locked).
+  std::array<std::vector<std::uint32_t>, 2> locked_in_;
+  bool use_lookahead_ = false;
+  /// Cut-after-each-move trajectory of the pass in flight (only when
+  /// config_.record_trace).
+  std::vector<Weight> current_trace_;
+};
+
+}  // namespace vlsipart

@@ -1,0 +1,147 @@
+#include "src/part/core/gain_container.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+
+GainContainer::GainContainer(std::size_t num_vertices, InsertOrder order)
+    : order_(order),
+      prev_(num_vertices, kInvalidVertex),
+      next_(num_vertices, kInvalidVertex),
+      key_(num_vertices, 0),
+      side_(num_vertices, 0),
+      in_(num_vertices, 0) {}
+
+void GainContainer::reset(Gain max_abs_key) {
+  VP_CHECK(max_abs_key >= 0, "key bound nonnegative");
+  max_abs_key_ = max_abs_key;
+  const std::size_t buckets = static_cast<std::size_t>(2 * max_abs_key + 1);
+  for (int s = 0; s < 2; ++s) {
+    head_[s].assign(buckets, kInvalidVertex);
+    tail_[s].assign(buckets, kInvalidVertex);
+    max_index_[s] = 0;
+    count_[s] = 0;
+  }
+  std::fill(in_.begin(), in_.end(), 0);
+}
+
+void GainContainer::push(VertexId v, PartId side, Gain key, bool at_head) {
+  VP_DCHECK(key >= -max_abs_key_ && key <= max_abs_key_,
+            "key " << key << " within representable range " << max_abs_key_);
+  const std::size_t idx = index_of(key);
+  key_[v] = key;
+  side_[v] = side;
+  in_[v] = 1;
+  ++count_[side];
+  VertexId& head = head_[side][idx];
+  VertexId& tail = tail_[side][idx];
+  if (head == kInvalidVertex) {
+    head = tail = v;
+    prev_[v] = next_[v] = kInvalidVertex;
+  } else if (at_head) {
+    prev_[v] = kInvalidVertex;
+    next_[v] = head;
+    prev_[head] = v;
+    head = v;
+  } else {
+    next_[v] = kInvalidVertex;
+    prev_[v] = tail;
+    next_[tail] = v;
+    tail = v;
+  }
+  max_index_[side] = std::max(max_index_[side], idx);
+}
+
+void GainContainer::unlink(VertexId v) {
+  const PartId side = side_[v];
+  const std::size_t idx = index_of(key_[v]);
+  if (prev_[v] != kInvalidVertex) {
+    next_[prev_[v]] = next_[v];
+  } else {
+    head_[side][idx] = next_[v];
+  }
+  if (next_[v] != kInvalidVertex) {
+    prev_[next_[v]] = prev_[v];
+  } else {
+    tail_[side][idx] = prev_[v];
+  }
+  prev_[v] = next_[v] = kInvalidVertex;
+  in_[v] = 0;
+  --count_[side];
+}
+
+bool GainContainer::pick_head(Rng& rng) const {
+  switch (order_) {
+    case InsertOrder::kLifo:
+      return true;
+    case InsertOrder::kFifo:
+      return false;
+    case InsertOrder::kRandom:
+      return rng.bernoulli(0.5);
+  }
+  return true;
+}
+
+void GainContainer::insert(VertexId v, PartId side, Gain key, Rng& rng) {
+  VP_DCHECK(!in_[v], "vertex not already contained");
+  push(v, side, key, pick_head(rng));
+}
+
+void GainContainer::insert_at_head(VertexId v, PartId side, Gain key) {
+  VP_DCHECK(!in_[v], "vertex not already contained");
+  push(v, side, key, /*at_head=*/true);
+}
+
+void GainContainer::remove(VertexId v) {
+  VP_DCHECK(in_[v], "vertex contained before removal");
+  unlink(v);
+}
+
+void GainContainer::update_key(VertexId v, Gain delta, Rng& rng) {
+  VP_DCHECK(in_[v], "vertex contained before key update");
+  const PartId side = side_[v];
+  Gain new_key = key_[v] + delta;
+  // Clamp defensively: with CLIP keys (cumulative delta gain) the bound
+  // is 2x the weighted degree, which reset() is sized for; clamping
+  // preserves ordering at the extremes rather than corrupting memory.
+  new_key = std::clamp(new_key, -max_abs_key_, max_abs_key_);
+  unlink(v);
+  push(v, side, new_key, pick_head(rng));
+}
+
+void GainContainer::reinsert(VertexId v, Rng& rng) {
+  VP_DCHECK(in_[v], "vertex contained before reinsert");
+  const PartId side = side_[v];
+  const Gain key = key_[v];
+  unlink(v);
+  push(v, side, key, pick_head(rng));
+}
+
+Gain GainContainer::max_key(PartId side) const {
+  VP_CHECK(count_[side] > 0, "side nonempty for max_key");
+  std::size_t idx = max_index_[side];
+  while (head_[side][idx] == kInvalidVertex) {
+    VP_DCHECK(idx > 0, "nonempty side has a nonempty bucket");
+    --idx;
+  }
+  max_index_[side] = idx;
+  return static_cast<Gain>(idx) - max_abs_key_;
+}
+
+Gain GainContainer::next_nonempty_below(PartId side, Gain key) const {
+  Gain k = key - 1;
+  while (k >= -max_abs_key_) {
+    if (head_[side][index_of(k)] != kInvalidVertex) return k;
+    --k;
+  }
+  return -max_abs_key_ - 1;
+}
+
+VertexId GainContainer::bucket_head(PartId side, Gain key) const {
+  if (key < -max_abs_key_ || key > max_abs_key_) return kInvalidVertex;
+  return head_[side][index_of(key)];
+}
+
+}  // namespace vlsipart

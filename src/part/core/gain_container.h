@@ -1,0 +1,100 @@
+// Bucket-array gain container for FM-style partitioners.
+//
+// Moves are segregated by source partition ("side"), exactly the
+// organization the paper describes when discussing highest-gain-bucket
+// tie-breaking (Sec. 2.2).  Each side is an array of doubly-linked
+// buckets indexed by key (actual gain for classic FM; cumulative delta
+// gain for CLIP), with intrusive prev/next links over vertex ids and a
+// lazily maintained max-key pointer.
+//
+// All operations are O(1) except max-key queries, which amortize over the
+// monotone descent of the max pointer within a pass.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/hypergraph/types.h"
+#include "src/part/core/fm_config.h"
+#include "src/util/rng.h"
+
+namespace vlsipart {
+
+class GainContainer {
+ public:
+  GainContainer(std::size_t num_vertices, InsertOrder order);
+
+  /// Clear and size buckets for keys in [-max_abs_key, max_abs_key].
+  void reset(Gain max_abs_key);
+
+  /// Insert a free vertex on `side` with the given key.  Position within
+  /// the bucket follows the configured InsertOrder (LIFO head / FIFO
+  /// tail / random end); rng is only consulted for kRandom.
+  void insert(VertexId v, PartId side, Gain key, Rng& rng);
+
+  /// Insert at the bucket head regardless of the configured order.  Used
+  /// by CLIP's initial build, which orders the zero-gain bucket heads by
+  /// descending initial gain [15].
+  void insert_at_head(VertexId v, PartId side, Gain key);
+
+  /// Remove v (must be contained).
+  void remove(VertexId v);
+
+  /// Remove and reinsert v with key shifted by delta (nonzero delta-gain
+  /// update).
+  void update_key(VertexId v, Gain delta, Rng& rng);
+
+  /// Remove and reinsert v at the same key — the "All-dgain" policy's
+  /// zero-delta update, which shifts v's position within its bucket.
+  void reinsert(VertexId v, Rng& rng);
+
+  bool contains(VertexId v) const { return in_[v]; }
+  Gain key(VertexId v) const { return key_[v]; }
+  PartId side_of(VertexId v) const { return side_[v]; }
+
+  std::size_t size(PartId side) const { return count_[side]; }
+  bool empty() const { return count_[0] + count_[1] == 0; }
+
+  /// Highest key with a nonempty bucket on `side`; side must be nonempty.
+  Gain max_key(PartId side) const;
+
+  /// Highest nonempty key on `side` strictly below `key`; returns
+  /// min_key()-1 if none.  Used to skip a bucket whose head is illegal.
+  Gain next_nonempty_below(PartId side, Gain key) const;
+
+  /// Head vertex of the bucket (kInvalidVertex if empty).
+  VertexId bucket_head(PartId side, Gain key) const;
+  /// Successor within the same bucket (kInvalidVertex at the end).
+  VertexId next_in_bucket(VertexId v) const { return next_[v]; }
+
+  Gain min_representable_key() const { return -max_abs_key_; }
+  Gain max_representable_key() const { return max_abs_key_; }
+
+ private:
+  std::size_t index_of(Gain key) const {
+    return static_cast<std::size_t>(key + max_abs_key_);
+  }
+
+  bool pick_head(Rng& rng) const;
+  void push(VertexId v, PartId side, Gain key, bool at_head);
+  void unlink(VertexId v);
+
+  InsertOrder order_;
+  Gain max_abs_key_ = 0;
+
+  // Per-side bucket arrays: head/tail vertex per key index.
+  std::vector<VertexId> head_[2];
+  std::vector<VertexId> tail_[2];
+  // Lazily maintained upper bound on the max nonempty key index.
+  mutable std::size_t max_index_[2] = {0, 0};
+  std::size_t count_[2] = {0, 0};
+
+  // Intrusive per-vertex fields.
+  std::vector<VertexId> prev_;
+  std::vector<VertexId> next_;
+  std::vector<Gain> key_;
+  std::vector<PartId> side_;
+  std::vector<std::uint8_t> in_;
+};
+
+}  // namespace vlsipart

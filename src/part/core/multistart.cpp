@@ -1,0 +1,165 @@
+#include "src/part/core/multistart.h"
+
+#include <limits>
+
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace vlsipart {
+
+Weight MultistartResult::min_cut() const {
+  Weight best = std::numeric_limits<Weight>::max();
+  for (const auto& s : starts) {
+    if (s.feasible) best = std::min(best, s.cut);
+  }
+  if (best == std::numeric_limits<Weight>::max()) {
+    // No feasible start: report the raw minimum so tables stay readable.
+    for (const auto& s : starts) best = std::min(best, s.cut);
+  }
+  return best;
+}
+
+double MultistartResult::avg_cut() const {
+  if (starts.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : starts) sum += static_cast<double>(s.cut);
+  return sum / static_cast<double>(starts.size());
+}
+
+double MultistartResult::avg_cpu_seconds() const {
+  if (starts.empty()) return 0.0;
+  return total_cpu_seconds / static_cast<double>(starts.size());
+}
+
+Sample MultistartResult::cut_sample() const {
+  Sample s;
+  s.reserve(starts.size());
+  for (const auto& r : starts) s.add(static_cast<double>(r.cut));
+  return s;
+}
+
+Sample MultistartResult::time_sample() const {
+  Sample s;
+  s.reserve(starts.size());
+  for (const auto& r : starts) s.add(r.cpu_seconds);
+  return s;
+}
+
+MultistartResult run_multistart(const PartitionProblem& problem,
+                                Bipartitioner& partitioner,
+                                std::size_t num_starts, std::uint64_t seed) {
+  MultistartResult result;
+  result.starts.reserve(num_starts);
+  Rng base(seed);
+  std::vector<PartId> parts;
+  Weight best = std::numeric_limits<Weight>::max();
+  for (std::size_t i = 0; i < num_starts; ++i) {
+    Rng rng = base.fork(i);
+    CpuTimer timer;
+    const Weight cut = partitioner.run(problem, rng, parts);
+    StartRecord record;
+    record.cut = cut;
+    record.cpu_seconds = timer.elapsed();
+    record.feasible = check_solution(problem, parts).empty();
+    result.total_cpu_seconds += record.cpu_seconds;
+    if (record.feasible && cut < best) {
+      best = cut;
+      result.best_parts = parts;
+    }
+    result.starts.push_back(record);
+  }
+  result.best_cut =
+      (best == std::numeric_limits<Weight>::max()) ? 0 : best;
+  return result;
+}
+
+PrunedMultistartResult run_multistart_pruned(const PartitionProblem& problem,
+                                             const FmConfig& config,
+                                             std::size_t num_starts,
+                                             std::uint64_t seed,
+                                             const PruneConfig& prune) {
+  PrunedMultistartResult out;
+  MultistartResult& result = out.result;
+  result.starts.reserve(num_starts);
+  Rng base(seed);
+  Weight best = std::numeric_limits<Weight>::max();
+  Weight best_pass1 = std::numeric_limits<Weight>::max();
+
+  FmConfig pass1_config = config;
+  pass1_config.max_passes = 1;
+
+  for (std::size_t i = 0; i < num_starts; ++i) {
+    Rng rng = base.fork(i);
+    CpuTimer timer;
+
+    auto parts = random_initial(problem, rng);
+    PartitionState state(*problem.graph);
+    state.assign(parts);
+    FmRefiner pass1(problem, pass1_config);
+    pass1.refine(state, rng);
+    const Weight pass1_cut = state.cut();
+
+    StartRecord record;
+    const bool doomed =
+        best_pass1 != std::numeric_limits<Weight>::max() &&
+        static_cast<double>(pass1_cut) >
+            prune.factor * static_cast<double>(best_pass1);
+    best_pass1 = std::min(best_pass1, pass1_cut);
+
+    if (doomed) {
+      record.cut = pass1_cut;
+      record.cpu_seconds = timer.elapsed();
+      record.feasible = false;  // discarded; never competes for best
+      ++out.pruned_starts;
+      out.pruned_cpu_seconds += record.cpu_seconds;
+    } else {
+      FmRefiner rest(problem, config);
+      rest.refine(state, rng);
+      record.cut = state.cut();
+      record.cpu_seconds = timer.elapsed();
+      record.feasible = check_solution(problem, state.parts()).empty();
+      if (record.feasible && record.cut < best) {
+        best = record.cut;
+        result.best_parts = state.parts();
+      }
+    }
+    result.total_cpu_seconds += record.cpu_seconds;
+    result.starts.push_back(record);
+  }
+  result.best_cut = (best == std::numeric_limits<Weight>::max()) ? 0 : best;
+  return out;
+}
+
+MultistartResult run_multistart_budgeted(const PartitionProblem& problem,
+                                         Bipartitioner& partitioner,
+                                         double cpu_budget_seconds,
+                                         std::uint64_t seed,
+                                         std::size_t max_starts) {
+  MultistartResult result;
+  Rng base(seed);
+  std::vector<PartId> parts;
+  Weight best = std::numeric_limits<Weight>::max();
+  std::size_t i = 0;
+  while (true) {
+    Rng rng = base.fork(i);
+    CpuTimer timer;
+    const Weight cut = partitioner.run(problem, rng, parts);
+    StartRecord record;
+    record.cut = cut;
+    record.cpu_seconds = timer.elapsed();
+    record.feasible = check_solution(problem, parts).empty();
+    result.total_cpu_seconds += record.cpu_seconds;
+    if (record.feasible && cut < best) {
+      best = cut;
+      result.best_parts = parts;
+    }
+    result.starts.push_back(record);
+    ++i;
+    if (result.total_cpu_seconds >= cpu_budget_seconds) break;
+    if (max_starts > 0 && i >= max_starts) break;
+  }
+  result.best_cut = (best == std::numeric_limits<Weight>::max()) ? 0 : best;
+  return result;
+}
+
+}  // namespace vlsipart

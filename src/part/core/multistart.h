@@ -1,0 +1,84 @@
+// Independent-start harness.
+//
+// Runs a Bipartitioner N times from independent seeds and records, per
+// start, the cut and CPU time — the raw material for the paper's
+// min/average tables (Tables 1-3) and for the BSF/Pareto reporting of
+// Sec. 3.2.  Start i always uses base_rng.fork(i), so any individual
+// start is reproducible in isolation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/part/core/partitioner.h"
+#include "src/util/stats.h"
+
+namespace vlsipart {
+
+struct StartRecord {
+  Weight cut = 0;
+  double cpu_seconds = 0.0;
+  bool feasible = false;
+};
+
+struct MultistartResult {
+  std::vector<StartRecord> starts;
+  std::vector<PartId> best_parts;
+  Weight best_cut = 0;
+  double total_cpu_seconds = 0.0;
+
+  Weight min_cut() const;
+  double avg_cut() const;
+  double avg_cpu_seconds() const;
+  /// Retained sample of cuts for order-statistic math (BSF curves).
+  Sample cut_sample() const;
+  Sample time_sample() const;
+};
+
+/// Run `num_starts` independent starts.  Each start's feasibility is
+/// audited with check_solution(); infeasible results are recorded but
+/// never become best_parts.
+MultistartResult run_multistart(const PartitionProblem& problem,
+                                Bipartitioner& partitioner,
+                                std::size_t num_starts, std::uint64_t seed);
+
+/// Start pruning (Sec. 3.2): "pruning (early termination of starts that
+/// appear unpromising relative to previous starts) can be applied".
+/// A start is abandoned after its first FM pass if that pass's cut
+/// exceeds `factor` times the best first-pass cut seen so far.
+struct PruneConfig {
+  double factor = 1.10;
+};
+
+struct PrunedMultistartResult {
+  MultistartResult result;
+  std::size_t pruned_starts = 0;
+  /// CPU spent on starts that were pruned (the saved work is the
+  /// difference against an unpruned run).
+  double pruned_cpu_seconds = 0.0;
+};
+
+/// Pruned multistart of the flat FM engine.  Pruned starts are recorded
+/// in result.starts with the cut they had when abandoned (marked
+/// infeasible so they never become best_parts), mirroring how a
+/// practical implementation would discard them.
+PrunedMultistartResult run_multistart_pruned(const PartitionProblem& problem,
+                                             const FmConfig& config,
+                                             std::size_t num_starts,
+                                             std::uint64_t seed,
+                                             const PruneConfig& prune);
+
+/// Budgeted multistart — the paper's actual use model (Sec. 3.2): keep
+/// launching independent starts while the consumed CPU stays below
+/// `cpu_budget_seconds`; at least one start always runs.  This is the
+/// regime behind the BSF curve's tau axis ("the solution cost that the
+/// algorithm is expected to achieve in a multistart regime, versus the
+/// given CPU time budget tau").  A cap of `max_starts` bounds the run on
+/// very fast instances (0 = unbounded).
+MultistartResult run_multistart_budgeted(const PartitionProblem& problem,
+                                         Bipartitioner& partitioner,
+                                         double cpu_budget_seconds,
+                                         std::uint64_t seed,
+                                         std::size_t max_starts = 0);
+
+}  // namespace vlsipart

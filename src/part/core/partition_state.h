@@ -1,0 +1,97 @@
+// Incremental 2-way partition state: assignment, per-net pin counts,
+// part weights and cut, all maintained in O(degree) per move.
+//
+// This is the "measurement instrument" of the testbed — every engine
+// (flat LIFO/CLIP FM, ML refinement) manipulates a PartitionState, and
+// audit() recomputes everything from scratch so tests can verify that the
+// incremental bookkeeping never drifts (a classic source of the silent
+// implementation bugs the paper warns about).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+#include "src/part/core/balance.h"
+
+namespace vlsipart {
+
+/// A partitioning problem instance: hypergraph + balance + fixed vertices.
+/// `fixed[v] == kNoPart` means v is free; otherwise v must stay in
+/// fixed[v] (terminal propagation / pad locations, Sec. 2.1).
+struct PartitionProblem {
+  const Hypergraph* graph = nullptr;
+  BalanceConstraint balance;
+  std::vector<PartId> fixed;  // empty = all free
+
+  bool is_fixed(VertexId v) const {
+    return !fixed.empty() && fixed[v] != kNoPart;
+  }
+};
+
+class PartitionState {
+ public:
+  /// Binds to a hypergraph; all vertices start unassigned (kNoPart).
+  explicit PartitionState(const Hypergraph& h);
+
+  const Hypergraph& graph() const { return *h_; }
+
+  /// Bulk-assign all vertices (each entry 0 or 1) and recompute all
+  /// derived quantities in O(pins).
+  void assign(std::span<const PartId> parts);
+
+  /// Move one vertex to the other side; O(degree(v)) update of pin
+  /// counts, part weights and cut.
+  void move(VertexId v);
+
+  PartId part(VertexId v) const { return parts_[v]; }
+  const std::vector<PartId>& parts() const { return parts_; }
+
+  Weight part_weight(PartId p) const { return part_weight_[p]; }
+  /// Number of pins of edge e currently in part p.
+  std::uint32_t pins_in(EdgeId e, PartId p) const {
+    return pins_in_[p][e];
+  }
+  bool edge_cut(EdgeId e) const {
+    return pins_in_[0][e] > 0 && pins_in_[1][e] > 0;
+  }
+
+  /// Weighted cut: sum of weights of edges spanning both parts.  This is
+  /// the paper's standard "cut size" objective (unweighted nets -> number
+  /// of cut nets).
+  Weight cut() const { return cut_; }
+
+  /// FM gain of moving v to the other side under the cut objective:
+  /// sum over incident nets e of
+  ///   +w(e) if v is the only pin of its part on e  (net becomes uncut)
+  ///   -w(e) if the other part has no pin on e      (net becomes cut).
+  Gain gain(VertexId v) const;
+
+  /// Recompute everything from the assignment and compare against the
+  /// incrementally maintained values; throws std::logic_error on any
+  /// mismatch.  O(pins).
+  void audit() const;
+
+ private:
+  const Hypergraph* h_;
+  std::vector<PartId> parts_;
+  std::array<Weight, 2> part_weight_{0, 0};
+  std::array<std::vector<std::uint32_t>, 2> pins_in_;
+  Weight cut_ = 0;
+};
+
+/// Recompute the cut of an assignment without building a state. O(pins).
+Weight compute_cut(const Hypergraph& h, std::span<const PartId> parts);
+
+/// Part weights of an assignment. O(V).
+std::array<Weight, 2> compute_part_weights(const Hypergraph& h,
+                                           std::span<const PartId> parts);
+
+/// Full feasibility audit of a solution against a problem: every vertex
+/// assigned 0/1, fixed vertices respected, balance satisfied.
+/// Returns an empty string if OK, else a description of the violation.
+std::string check_solution(const PartitionProblem& problem,
+                           std::span<const PartId> parts);
+
+}  // namespace vlsipart

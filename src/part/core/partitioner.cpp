@@ -1,0 +1,24 @@
+#include "src/part/core/partitioner.h"
+
+namespace vlsipart {
+
+FlatFmPartitioner::FlatFmPartitioner(FmConfig config, std::string name,
+                                     InitialScheme initial)
+    : config_(config), name_(std::move(name)), initial_(initial) {
+  if (name_.empty()) {
+    name_ = std::string("flat-") + (config_.clip ? "clip" : "fm");
+  }
+}
+
+Weight FlatFmPartitioner::run(const PartitionProblem& problem, Rng& rng,
+                              std::vector<PartId>& parts) {
+  parts = make_initial(problem, initial_, run_index_++, rng);
+  PartitionState state(*problem.graph);
+  state.assign(parts);
+  FmRefiner refiner(problem, config_);
+  last_result_ = refiner.refine(state, rng);
+  parts = state.parts();
+  return state.cut();
+}
+
+}  // namespace vlsipart

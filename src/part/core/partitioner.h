@@ -1,0 +1,58 @@
+// Abstract bipartitioner interface and the flat FM implementation.
+//
+// A Bipartitioner is a single-start heuristic: given a problem and a
+// seeded Rng, it produces one feasible assignment.  Multistart regimes,
+// BSF curves and Pareto comparisons (Sec. 3.2) are all built on top of
+// this interface by the multistart harness and the eval library, so flat
+// FM, CLIP FM and the multilevel engine are compared "apples to apples".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/part/core/fm_config.h"
+#include "src/part/core/fm_refiner.h"
+#include "src/part/core/initial.h"
+#include "src/part/core/partition_state.h"
+#include "src/util/rng.h"
+
+namespace vlsipart {
+
+class Bipartitioner {
+ public:
+  virtual ~Bipartitioner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Run one start: generate (or refine) an assignment into `parts`.
+  /// Returns the achieved cut.  Deterministic given the Rng state.
+  virtual Weight run(const PartitionProblem& problem, Rng& rng,
+                     std::vector<PartId>& parts) = 0;
+};
+
+/// Flat (single-level) FM or CLIP partitioner: random feasible initial
+/// solution + FM refinement with the configured implicit decisions.
+class FlatFmPartitioner final : public Bipartitioner {
+ public:
+  explicit FlatFmPartitioner(FmConfig config, std::string name = {},
+                             InitialScheme initial = InitialScheme::kRandom);
+
+  std::string name() const override { return name_; }
+  Weight run(const PartitionProblem& problem, Rng& rng,
+             std::vector<PartId>& parts) override;
+
+  /// FM statistics of the most recent run (corking diagnostics etc.).
+  const FmResult& last_result() const { return last_result_; }
+
+  const FmConfig& config() const { return config_; }
+
+ private:
+  FmConfig config_;
+  std::string name_;
+  InitialScheme initial_;
+  FmResult last_result_;
+  std::size_t run_index_ = 0;
+};
+
+}  // namespace vlsipart

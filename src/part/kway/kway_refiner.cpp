@@ -1,0 +1,288 @@
+#include "src/part/kway/kway_refiner.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+
+KwayFmRefiner::KwayFmRefiner(const KwayProblem& problem, KwayFmConfig config)
+    : problem_(&problem), config_(config) {
+  const Hypergraph& h = *problem.graph;
+  Gain max_wdeg = 0;
+  for (std::size_t v = 0; v < h.num_vertices(); ++v) {
+    Gain wdeg = 0;
+    for (const EdgeId e : h.incident_edges(static_cast<VertexId>(v))) {
+      wdeg += h.edge_weight(e);
+    }
+    max_wdeg = std::max(max_wdeg, wdeg);
+  }
+  max_abs_gain_ = max_wdeg;
+  const std::size_t n = h.num_vertices();
+  prev_.assign(n, kInvalidVertex);
+  next_.assign(n, kInvalidVertex);
+  key_.assign(n, 0);
+  target_.assign(n, kNoPart);
+  in_pool_.assign(n, 0);
+  locked_.assign(n, 0);
+  use_lookahead_ = config_.lookahead_depth > 1;
+}
+
+void KwayFmRefiner::level_gains(const KwayState& state, VertexId v,
+                                std::vector<Gain>& out) const {
+  // Level gains of the direction (v: from -> to), computed on the
+  // from/to two-block projection of each net — the natural restriction
+  // of Krishnamurthy's binding numbers [30] to one k-way move direction,
+  // as in Sanchis's k-way extension [32].  Exactly the 2-way definition
+  // when k = 2.
+  const Hypergraph& h = *problem_->graph;
+  const PartId from = state.part(v);
+  const PartId to = target_[v];
+  const auto depth = static_cast<std::size_t>(config_.lookahead_depth);
+  const std::size_t k = state.k();
+  out.assign(depth - 1, 0);
+  for (const EdgeId e : h.incident_edges(v)) {
+    // Nets with pins outside {from, to} cannot be uncut by from/to
+    // moves alone; skip them.
+    const std::uint32_t in_from = state.pins_in(e, from);
+    const std::uint32_t in_to = state.pins_in(e, to);
+    bool outside = false;
+    for (PartId p = 0; p < static_cast<PartId>(k); ++p) {
+      if (p != from && p != to && state.pins_in(e, p) > 0) {
+        outside = true;
+        break;
+      }
+    }
+    if (outside) continue;
+    const Weight w = h.edge_weight(e);
+    const std::size_t base = static_cast<std::size_t>(e) * k;
+    const std::uint32_t locked_from = locked_in_[base + from];
+    const std::uint32_t locked_to = locked_in_[base + to];
+    if (locked_from == 0) {
+      const std::uint32_t free_from = in_from;
+      if (in_to > 0 && free_from >= 2 && free_from <= depth) {
+        out[free_from - 2] += w;
+      }
+    }
+    if (locked_to == 0) {
+      const std::uint32_t free_to = in_to;
+      if (free_to >= 1 && free_to + 1 <= depth) {
+        out[free_to - 1] -= w;
+      }
+    }
+  }
+}
+
+VertexId KwayFmRefiner::lookahead_pick(const KwayState& state,
+                                       VertexId head) const {
+  VertexId best = kInvalidVertex;
+  std::vector<Gain> best_vec;
+  std::vector<Gain> vec;
+  std::size_t scanned = 0;
+  for (VertexId v = head;
+       v != kInvalidVertex && scanned < config_.lookahead_scan_limit;
+       v = next_[v], ++scanned) {
+    if (!target_legal(state, v, target_[v])) continue;
+    level_gains(state, v, vec);
+    if (best == kInvalidVertex || vec > best_vec) {
+      best = v;
+      best_vec = vec;
+    }
+  }
+  return best;
+}
+
+void KwayFmRefiner::pool_reset() {
+  bucket_head_.assign(static_cast<std::size_t>(2 * max_abs_gain_ + 1),
+                      kInvalidVertex);
+  std::fill(in_pool_.begin(), in_pool_.end(), 0);
+  pool_size_ = 0;
+  max_index_ = 0;
+}
+
+void KwayFmRefiner::pool_insert(VertexId v, Gain key, PartId target) {
+  key = std::clamp(key, -max_abs_gain_, max_abs_gain_);
+  const std::size_t idx = index_of(key);
+  key_[v] = key;
+  target_[v] = target;
+  in_pool_[v] = 1;
+  ++pool_size_;
+  VertexId& head = bucket_head_[idx];
+  prev_[v] = kInvalidVertex;
+  next_[v] = head;
+  if (head != kInvalidVertex) prev_[head] = v;
+  head = v;  // LIFO
+  max_index_ = std::max(max_index_, idx);
+}
+
+void KwayFmRefiner::pool_remove(VertexId v) {
+  VP_DCHECK(in_pool_[v], "vertex in pool before removal");
+  const std::size_t idx = index_of(key_[v]);
+  if (prev_[v] != kInvalidVertex) {
+    next_[prev_[v]] = next_[v];
+  } else {
+    bucket_head_[idx] = next_[v];
+  }
+  if (next_[v] != kInvalidVertex) prev_[next_[v]] = prev_[v];
+  prev_[v] = next_[v] = kInvalidVertex;
+  in_pool_[v] = 0;
+  --pool_size_;
+}
+
+VertexId KwayFmRefiner::pool_top_head() const {
+  if (pool_size_ == 0) return kInvalidVertex;
+  std::size_t idx = max_index_;
+  while (bucket_head_[idx] == kInvalidVertex) {
+    VP_DCHECK(idx > 0, "nonempty pool has nonempty bucket");
+    --idx;
+  }
+  const_cast<KwayFmRefiner*>(this)->max_index_ = idx;
+  return bucket_head_[idx];
+}
+
+bool KwayFmRefiner::target_legal(const KwayState& state, VertexId v,
+                                 PartId to) const {
+  const Weight w = problem_->graph->vertex_weight(v);
+  return state.part_weight(to) + w <= problem_->max_part &&
+         state.part_weight(state.part(v)) - w >= problem_->min_part;
+}
+
+PartId KwayFmRefiner::best_target(const KwayState& state, VertexId v,
+                                  bool require_legal) const {
+  const PartId from = state.part(v);
+  PartId best = kNoPart;
+  Gain best_gain = 0;
+  for (PartId t = 0; t < static_cast<PartId>(state.k()); ++t) {
+    if (t == from) continue;
+    if (require_legal && !target_legal(state, v, t)) continue;
+    const Gain g = state.gain(v, t);
+    if (best == kNoPart || g > best_gain) {
+      best = t;
+      best_gain = g;
+    }
+  }
+  return best;
+}
+
+Weight KwayFmRefiner::run_pass(KwayState& state, Rng& rng) {
+  (void)rng;  // deterministic pass; parameter kept for parity/extension
+  const Hypergraph& h = *problem_->graph;
+  const std::size_t n = h.num_vertices();
+
+  pool_reset();
+  std::fill(locked_.begin(), locked_.end(), 0);
+  move_order_.clear();
+  if (use_lookahead_) {
+    locked_in_.assign(h.num_edges() * state.k(), 0);
+    // Fixed vertices never move: binding numbers see them as locked.
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto vid = static_cast<VertexId>(v);
+      if (!problem_->is_fixed(vid)) continue;
+      for (const EdgeId e : h.incident_edges(vid)) {
+        ++locked_in_[static_cast<std::size_t>(e) * state.k() +
+                     state.part(vid)];
+      }
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<VertexId>(v);
+    if (problem_->is_fixed(vid)) continue;
+    const PartId t = best_target(state, vid, /*require_legal=*/false);
+    if (t == kNoPart) continue;
+    pool_insert(vid, state.gain(vid, t), t);
+  }
+
+  const Weight cut_before = state.cut();
+  Weight best_cut = cut_before;
+  std::size_t best_prefix = 0;
+  std::size_t moves_since_best = 0;
+
+  while (pool_size_ > 0) {
+    VertexId v = pool_top_head();
+    if (v == kInvalidVertex) break;
+    if (use_lookahead_) {
+      // Sanchis level-gain tie-breaking among the top bucket's legal
+      // candidates; fall back to the head when none has a legal target.
+      const VertexId pick = lookahead_pick(state, v);
+      if (pick != kInvalidVertex) v = pick;
+    }
+
+    PartId to = target_[v];
+    if (!target_legal(state, v, to)) {
+      // Downgrade to the best *legal* target; keys only decrease, so
+      // reinsertion makes progress.
+      to = best_target(state, v, /*require_legal=*/true);
+      if (to == kNoPart) {
+        pool_remove(v);
+        continue;
+      }
+      const Gain g = state.gain(v, to);
+      if (g < key_[v]) {
+        pool_remove(v);
+        pool_insert(v, g, to);
+        continue;
+      }
+      // Equal key with a legal target: fall through and take it.
+    }
+
+    pool_remove(v);
+    locked_[v] = 1;
+    const PartId from = state.part(v);
+    state.move(v, to);
+    move_order_.push_back({v, from});
+    if (use_lookahead_) {
+      for (const EdgeId e : h.incident_edges(v)) {
+        ++locked_in_[static_cast<std::size_t>(e) * state.k() + to];
+      }
+    }
+
+    // Eager exact update of every free neighbor's best candidate.
+    for (const EdgeId e : h.incident_edges(v)) {
+      for (const VertexId y : h.pins(e)) {
+        if (y == v || locked_[y] || !in_pool_[y]) continue;
+        const PartId t = best_target(state, y, /*require_legal=*/false);
+        pool_remove(y);
+        if (t != kNoPart) pool_insert(y, state.gain(y, t), t);
+      }
+    }
+
+    const Weight cut = state.cut();
+    if (cut < best_cut) {
+      best_cut = cut;
+      best_prefix = move_order_.size();
+      moves_since_best = 0;
+    } else {
+      ++moves_since_best;
+      if (config_.max_moves_past_best > 0 &&
+          moves_since_best >= config_.max_moves_past_best) {
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = move_order_.size(); i > best_prefix; --i) {
+    state.move(move_order_[i - 1].v, move_order_[i - 1].from);
+  }
+  return cut_before - state.cut();
+}
+
+KwayFmResult KwayFmRefiner::refine(KwayState& state, Rng& rng) {
+  KwayFmResult result;
+  result.initial_cut = state.cut();
+  int passes = 0;
+  while (true) {
+    const std::size_t moves_before = move_order_.size();
+    const Weight improvement = run_pass(state, rng);
+    (void)moves_before;
+    result.total_moves += move_order_.size();
+    ++passes;
+    if (improvement <= 0) break;
+    if (config_.max_passes > 0 && passes >= config_.max_passes) break;
+  }
+  result.passes = static_cast<std::size_t>(passes);
+  result.final_cut = state.cut();
+  return result;
+}
+
+}  // namespace vlsipart

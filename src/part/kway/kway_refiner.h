@@ -1,0 +1,109 @@
+// Direct k-way FM refinement pass (first-order Sanchis scheme [32]).
+//
+// Each free vertex owns one candidate move: to the target part with the
+// highest first-order gain.  Candidates live in a single gain-bucket
+// pool keyed by that gain.  A pass repeatedly extracts the best legal
+// candidate, applies it, locks the vertex, updates neighbor candidates,
+// and finally rolls back to the best prefix — the same pass discipline
+// as the 2-way engine.  (Sanchis's full scheme adds Krishnamurthy level
+// gains per direction; this implementation is the standard first-order
+// variant, which is what later k-way partitioners adopted.)
+//
+// Used to polish recursive-bisection solutions: RB fixes the block
+// hierarchy top-down and cannot move a vertex between cousin blocks;
+// direct k-way passes can.
+#pragma once
+
+#include <vector>
+
+#include "src/part/kway/kway_state.h"
+#include "src/util/rng.h"
+
+namespace vlsipart {
+
+struct KwayFmConfig {
+  /// Stop after this many passes even if still improving; <= 0 = until
+  /// no improvement.
+  int max_passes = -1;
+  /// Abandon a pass after this many consecutive non-improving moves
+  /// (0 = full pass).
+  std::size_t max_moves_past_best = 0;
+  /// Sanchis level gains [32]: 1 = first-order only; r > 1 breaks ties
+  /// among equal-gain candidates at the top bucket by comparing
+  /// Krishnamurthy-style level-2..r gains of the stored (vertex, target)
+  /// directions lexicographically.
+  int lookahead_depth = 1;
+  /// Bucket-scan bound when lookahead tie-breaking is active.
+  std::size_t lookahead_scan_limit = 8;
+};
+
+struct KwayFmResult {
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+  std::size_t passes = 0;
+  std::size_t total_moves = 0;
+};
+
+class KwayFmRefiner {
+ public:
+  KwayFmRefiner(const KwayProblem& problem, KwayFmConfig config);
+
+  /// Refine in place; never worsens the cut, preserves feasibility.
+  KwayFmResult refine(KwayState& state, Rng& rng);
+
+ private:
+  struct MoveRecord {
+    VertexId v;
+    PartId from;
+  };
+
+  /// Best-gain target for v given current weights; returns kNoPart if no
+  /// target is legal.  Prefers the highest gain; ties broken by lowest
+  /// part id (deterministic).
+  PartId best_target(const KwayState& state, VertexId v,
+                     bool require_legal) const;
+  bool target_legal(const KwayState& state, VertexId v, PartId to) const;
+
+  /// Level-2..r gains of moving v toward target_[v] (binding numbers
+  /// over free/locked per-part pin counts, Sanchis [32]).
+  void level_gains(const KwayState& state, VertexId v,
+                   std::vector<Gain>& out) const;
+  /// Among the first lookahead_scan_limit pool entries of the top
+  /// bucket, the one with the lexicographically largest level-gain
+  /// vector whose stored target is legal; kInvalidVertex if none.
+  VertexId lookahead_pick(const KwayState& state, VertexId head) const;
+
+  Weight run_pass(KwayState& state, Rng& rng);
+
+  const KwayProblem* problem_;
+  KwayFmConfig config_;
+  Gain max_abs_gain_ = 0;
+
+  // Single-pool intrusive bucket list over candidate moves.
+  std::vector<VertexId> bucket_head_;
+  std::vector<VertexId> prev_;
+  std::vector<VertexId> next_;
+  std::vector<Gain> key_;
+  std::vector<PartId> target_;
+  std::vector<std::uint8_t> in_pool_;
+  std::vector<std::uint8_t> locked_;
+  std::size_t pool_size_ = 0;
+  std::size_t max_index_ = 0;
+  /// Per-(edge, part) locked pin counts (e * k + p); maintained only
+  /// when level-gain tie-breaking is active.
+  std::vector<std::uint32_t> locked_in_;
+  bool use_lookahead_ = false;
+
+  void pool_reset();
+  void pool_insert(VertexId v, Gain key, PartId target);
+  void pool_remove(VertexId v);
+  VertexId pool_top_head() const;
+  Gain pool_max_key() const;
+  std::size_t index_of(Gain key) const {
+    return static_cast<std::size_t>(key + max_abs_gain_);
+  }
+
+  std::vector<MoveRecord> move_order_;
+};
+
+}  // namespace vlsipart

@@ -1,0 +1,149 @@
+#include "src/part/kway/kway_state.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+
+KwayProblem KwayProblem::uniform(const Hypergraph& graph, std::size_t k,
+                                 double tolerance) {
+  KwayProblem p;
+  p.graph = &graph;
+  p.k = k;
+  const double capacity =
+      static_cast<double>(graph.total_vertex_weight()) /
+      static_cast<double>(k);
+  p.min_part = static_cast<Weight>(
+      std::floor(capacity * (1.0 - tolerance / 2.0)));
+  p.max_part =
+      static_cast<Weight>(std::ceil(capacity * (1.0 + tolerance / 2.0)));
+  return p;
+}
+
+KwayState::KwayState(const Hypergraph& h, std::size_t k)
+    : h_(&h),
+      k_(k),
+      parts_(h.num_vertices(), kNoPart),
+      part_weight_(k, 0),
+      pins_in_(h.num_edges() * k, 0),
+      spanned_(h.num_edges(), 0) {
+  VP_CHECK(k >= 2 && k < kNoPart, "k in [2, 254]");
+}
+
+void KwayState::assign(std::span<const PartId> parts) {
+  VP_CHECK(parts.size() == h_->num_vertices(), "assignment covers vertices");
+  parts_.assign(parts.begin(), parts.end());
+  std::fill(part_weight_.begin(), part_weight_.end(), 0);
+  std::fill(pins_in_.begin(), pins_in_.end(), 0);
+  cut_ = 0;
+  for (std::size_t v = 0; v < parts_.size(); ++v) {
+    VP_CHECK(parts_[v] < k_, "part in range, v=" << v);
+    part_weight_[parts_[v]] += h_->vertex_weight(static_cast<VertexId>(v));
+  }
+  for (std::size_t e = 0; e < h_->num_edges(); ++e) {
+    std::uint32_t spanned = 0;
+    for (const VertexId v : h_->pins(static_cast<EdgeId>(e))) {
+      if (pins_in_[e * k_ + parts_[v]]++ == 0) ++spanned;
+    }
+    spanned_[e] = spanned;
+    if (spanned >= 2) cut_ += h_->edge_weight(static_cast<EdgeId>(e));
+  }
+}
+
+void KwayState::move(VertexId v, PartId to) {
+  const PartId from = parts_[v];
+  VP_DCHECK(from < k_ && to < k_ && from != to, "valid move");
+  const Weight w = h_->vertex_weight(v);
+  for (const EdgeId e : h_->incident_edges(v)) {
+    const std::size_t base = static_cast<std::size_t>(e) * k_;
+    const bool was_cut = spanned_[e] >= 2;
+    if (--pins_in_[base + from] == 0) --spanned_[e];
+    if (pins_in_[base + to]++ == 0) ++spanned_[e];
+    const bool now_cut = spanned_[e] >= 2;
+    if (was_cut != now_cut) {
+      cut_ += now_cut ? h_->edge_weight(e) : -h_->edge_weight(e);
+    }
+  }
+  parts_[v] = to;
+  part_weight_[from] -= w;
+  part_weight_[to] += w;
+}
+
+Gain KwayState::gain(VertexId v, PartId to) const {
+  const PartId from = parts_[v];
+  VP_DCHECK(to < k_ && to != from, "valid gain query");
+  Gain g = 0;
+  for (const EdgeId e : h_->incident_edges(v)) {
+    const std::size_t base = static_cast<std::size_t>(e) * k_;
+    const Weight w = h_->edge_weight(e);
+    const std::uint32_t in_from = pins_in_[base + from];
+    const std::uint32_t in_to = pins_in_[base + to];
+    // Spanned-part count changes only through the 0/1 thresholds of the
+    // from/to slots.
+    std::uint32_t spanned = spanned_[e];
+    std::uint32_t new_spanned = spanned;
+    if (in_from == 1) --new_spanned;
+    if (in_to == 0) ++new_spanned;
+    const bool was_cut = spanned >= 2;
+    const bool now_cut = new_spanned >= 2;
+    if (was_cut && !now_cut) g += w;
+    if (!was_cut && now_cut) g -= w;
+  }
+  return g;
+}
+
+void KwayState::audit() const {
+  std::vector<Weight> weights(k_, 0);
+  for (std::size_t v = 0; v < parts_.size(); ++v) {
+    VP_CHECK(parts_[v] < k_, "vertex assigned, v=" << v);
+    weights[parts_[v]] += h_->vertex_weight(static_cast<VertexId>(v));
+  }
+  for (std::size_t p = 0; p < k_; ++p) {
+    VP_CHECK(weights[p] == part_weight_[p], "part weight matches, p=" << p);
+  }
+  Weight cut = 0;
+  for (std::size_t e = 0; e < h_->num_edges(); ++e) {
+    std::vector<std::uint32_t> counts(k_, 0);
+    std::uint32_t spanned = 0;
+    for (const VertexId v : h_->pins(static_cast<EdgeId>(e))) {
+      if (counts[parts_[v]]++ == 0) ++spanned;
+    }
+    for (std::size_t p = 0; p < k_; ++p) {
+      VP_CHECK(counts[p] == pins_in_[e * k_ + p],
+               "pin counts match, e=" << e << " p=" << p);
+    }
+    VP_CHECK(spanned == spanned_[e], "spanned count matches, e=" << e);
+    if (spanned >= 2) cut += h_->edge_weight(static_cast<EdgeId>(e));
+  }
+  VP_CHECK(cut == cut_, "k-way cut matches recomputation");
+}
+
+std::string check_kway_solution(const KwayProblem& problem,
+                                std::span<const PartId> parts) {
+  const Hypergraph& h = *problem.graph;
+  if (parts.size() != h.num_vertices()) return "assignment size mismatch";
+  std::vector<Weight> weights(problem.k, 0);
+  for (std::size_t v = 0; v < parts.size(); ++v) {
+    if (parts[v] >= problem.k) {
+      return "vertex " + std::to_string(v) + " part out of range";
+    }
+    if (problem.is_fixed(static_cast<VertexId>(v)) &&
+        parts[v] != problem.fixed[v]) {
+      return "fixed vertex " + std::to_string(v) + " moved";
+    }
+    weights[parts[v]] += h.vertex_weight(static_cast<VertexId>(v));
+  }
+  for (std::size_t p = 0; p < problem.k; ++p) {
+    if (weights[p] < problem.min_part || weights[p] > problem.max_part) {
+      std::ostringstream out;
+      out << "part " << p << " weight " << weights[p] << " outside ["
+          << problem.min_part << ", " << problem.max_part << "]";
+      return out.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace vlsipart

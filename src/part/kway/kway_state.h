@@ -1,0 +1,84 @@
+// Incremental k-way partition state (generalizes PartitionState).
+//
+// Maintains per-net pin counts for each of the k parts, per-part
+// weights, and the k-way cut (nets spanning >= 2 parts) under O(degree)
+// single-vertex moves.  The substrate for direct k-way FM refinement
+// (Sanchis [32]) on top of recursive bisection.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+
+namespace vlsipart {
+
+/// A k-way problem: per-part weight window plus optional fixed vertices.
+struct KwayProblem {
+  const Hypergraph* graph = nullptr;
+  std::size_t k = 2;
+  Weight min_part = 0;
+  Weight max_part = 0;
+  std::vector<PartId> fixed;  // empty = all free
+
+  /// Uniform capacity window: each part in
+  /// [capacity*(1-tol/2), capacity*(1+tol/2)], capacity = total/k.
+  static KwayProblem uniform(const Hypergraph& graph, std::size_t k,
+                             double tolerance);
+
+  bool is_fixed(VertexId v) const {
+    return !fixed.empty() && fixed[v] != kNoPart;
+  }
+};
+
+class KwayState {
+ public:
+  KwayState(const Hypergraph& h, std::size_t k);
+
+  std::size_t k() const { return k_; }
+  const Hypergraph& graph() const { return *h_; }
+
+  /// Bulk-assign (each entry < k) and recompute in O(pins * 1).
+  void assign(std::span<const PartId> parts);
+
+  /// Move v to part `to` (must differ from its current part).
+  void move(VertexId v, PartId to);
+
+  PartId part(VertexId v) const { return parts_[v]; }
+  const std::vector<PartId>& parts() const { return parts_; }
+  Weight part_weight(PartId p) const { return part_weight_[p]; }
+
+  std::uint32_t pins_in(EdgeId e, PartId p) const {
+    return pins_in_[static_cast<std::size_t>(e) * k_ + p];
+  }
+  /// Number of distinct parts with pins on e.
+  std::uint32_t spanned_parts(EdgeId e) const { return spanned_[e]; }
+
+  /// Weighted k-way cut: nets spanning >= 2 parts.
+  Weight cut() const { return cut_; }
+
+  /// Gain of moving v to part `to` under the k-way cut objective:
+  ///   +w(e) for nets that would stop spanning >= 2 parts,
+  ///   -w(e) for nets that would start spanning >= 2 parts.
+  Gain gain(VertexId v, PartId to) const;
+
+  /// Recompute everything and compare; throws on mismatch.  O(pins*k).
+  void audit() const;
+
+ private:
+  const Hypergraph* h_;
+  std::size_t k_;
+  std::vector<PartId> parts_;
+  std::vector<Weight> part_weight_;
+  std::vector<std::uint32_t> pins_in_;  // e * k + p
+  std::vector<std::uint32_t> spanned_;  // per edge
+  Weight cut_ = 0;
+};
+
+/// Empty string if feasible (all parts within [min,max], fixed
+/// respected); else a description.
+std::string check_kway_solution(const KwayProblem& problem,
+                                std::span<const PartId> parts);
+
+}  // namespace vlsipart

@@ -1,0 +1,175 @@
+#include "src/part/kway/recursive_bisection.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/hypergraph/subgraph.h"
+#include "src/part/core/multistart.h"
+#include "src/part/core/partitioner.h"
+#include "src/part/kway/kway_refiner.h"
+#include "src/util/logging.h"
+
+namespace vlsipart {
+namespace {
+
+class KwayDriver {
+ public:
+  KwayDriver(const Hypergraph& h, const KwayConfig& config)
+      : h_(h), config_(config) {
+    // Per-bisection slack so that accumulated drift over the recursion
+    // depth stays within the final per-part tolerance band.
+    std::size_t levels = 0;
+    for (std::size_t k = 1; k < config.k; k *= 2) ++levels;
+    slack_fraction_ =
+        config.tolerance / (2.0 * static_cast<double>(std::max<std::size_t>(
+                                      1, levels)));
+    result_.parts.assign(h.num_vertices(), 0);
+  }
+
+  KwayResult run() {
+    std::vector<VertexId> all(h_.num_vertices());
+    for (std::size_t v = 0; v < all.size(); ++v) {
+      all[v] = static_cast<VertexId>(v);
+    }
+    split(all, config_.k, /*first_part=*/0, config_.seed);
+    if (config_.refine_passes > 0 && config_.k >= 2) {
+      // Direct k-way FM polish (Sanchis-style first-order passes).
+      KwayProblem problem =
+          KwayProblem::uniform(h_, config_.k, config_.tolerance);
+      KwayState state(h_, config_.k);
+      state.assign(result_.parts);
+      KwayFmConfig refine_config;
+      refine_config.max_passes = config_.refine_passes;
+      KwayFmRefiner refiner(problem, refine_config);
+      Rng rng(config_.seed ^ 0x4B57A9ULL);
+      refiner.refine(state, rng);
+      // Keep the polish only if it did not break the RB balance.
+      if (check_kway(h_, state.parts(), config_.k, config_.tolerance)
+              .empty()) {
+        result_.parts = state.parts();
+      }
+    }
+    result_.cut = kway_cut(h_, result_.parts);
+    result_.part_weights.assign(config_.k, 0);
+    for (std::size_t v = 0; v < h_.num_vertices(); ++v) {
+      result_.part_weights[result_.parts[v]] +=
+          h_.vertex_weight(static_cast<VertexId>(v));
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void split(const std::vector<VertexId>& cells, std::size_t k,
+             std::size_t first_part, std::uint64_t seed) {
+    if (k == 1) {
+      for (const VertexId v : cells) {
+        result_.parts[v] = static_cast<PartId>(first_part);
+      }
+      return;
+    }
+    const std::size_t k0 = k / 2;
+    const std::size_t k1 = k - k0;
+
+    // Sub-hypergraph over this block's cells (nets projected onto their
+    // internal pins; < 2 internal pins dropped).
+    Subhypergraph extracted = extract_subhypergraph(h_, cells);
+    const Hypergraph& sub = extracted.graph;
+    const Weight subtotal = sub.total_vertex_weight();
+
+    // Capacity-proportional asymmetric balance: part 0 of this bisection
+    // holds k0/k of the block's weight, within the per-level slack.
+    const double share = static_cast<double>(k0) / static_cast<double>(k);
+    const double target0 = static_cast<double>(subtotal) * share;
+    const auto slack = static_cast<Weight>(target0 * slack_fraction_) + 1;
+    PartitionProblem problem;
+    problem.graph = &sub;
+    problem.balance = BalanceConstraint::from_bounds(
+        subtotal, static_cast<Weight>(target0) - slack,
+        static_cast<Weight>(target0) + slack);
+
+    std::vector<PartId> parts;
+    if (config_.use_ml) {
+      MlConfig ml = config_.ml;
+      ml.refine = config_.fm;
+      MlPartitioner engine(ml);
+      const MultistartResult r = run_multistart(
+          problem, engine, config_.starts_per_level, seed);
+      parts = r.best_parts;
+    } else {
+      FlatFmPartitioner engine(config_.fm);
+      const MultistartResult r = run_multistart(
+          problem, engine, config_.starts_per_level, seed);
+      parts = r.best_parts;
+    }
+    if (parts.empty()) {
+      parts = lpt_initial(problem);  // all starts infeasible: fall back
+    }
+    ++result_.bisections;
+
+    std::vector<VertexId> lo;
+    std::vector<VertexId> hi;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      (parts[i] == 0 ? lo : hi).push_back(cells[i]);
+    }
+    split(lo, k0, first_part, seed * 6364136223846793005ULL + 1);
+    split(hi, k1, first_part + k0, seed * 6364136223846793005ULL + 2);
+  }
+
+  const Hypergraph& h_;
+  KwayConfig config_;
+  double slack_fraction_;
+  KwayResult result_;
+};
+
+}  // namespace
+
+KwayResult recursive_bisection(const Hypergraph& h,
+                               const KwayConfig& config) {
+  VP_CHECK(config.k >= 2 && config.k <= 128, "k in [2, 128]");
+  KwayDriver driver(h, config);
+  return driver.run();
+}
+
+Weight kway_cut(const Hypergraph& h, const std::vector<PartId>& parts) {
+  VP_CHECK(parts.size() == h.num_vertices(), "assignment covers vertices");
+  Weight cut = 0;
+  for (std::size_t e = 0; e < h.num_edges(); ++e) {
+    const auto span = h.pins(static_cast<EdgeId>(e));
+    const PartId first = parts[span.front()];
+    for (const VertexId v : span) {
+      if (parts[v] != first) {
+        cut += h.edge_weight(static_cast<EdgeId>(e));
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+std::string check_kway(const Hypergraph& h, const std::vector<PartId>& parts,
+                       std::size_t k, double tolerance) {
+  if (parts.size() != h.num_vertices()) return "assignment size mismatch";
+  std::vector<Weight> weights(k, 0);
+  for (std::size_t v = 0; v < parts.size(); ++v) {
+    if (parts[v] >= k) {
+      return "vertex " + std::to_string(v) + " has part out of range";
+    }
+    weights[parts[v]] += h.vertex_weight(static_cast<VertexId>(v));
+  }
+  const double capacity = static_cast<double>(h.total_vertex_weight()) /
+                          static_cast<double>(k);
+  for (std::size_t p = 0; p < k; ++p) {
+    const double lo = capacity * (1.0 - tolerance / 2.0) - 1.0;
+    const double hi = capacity * (1.0 + tolerance / 2.0) + 1.0;
+    if (static_cast<double>(weights[p]) < lo ||
+        static_cast<double>(weights[p]) > hi) {
+      std::ostringstream out;
+      out << "part " << p << " weight " << weights[p] << " outside ["
+          << lo << ", " << hi << "]";
+      return out.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,166 @@
+#include "src/part/ml/ml_partitioner.h"
+
+#include <limits>
+
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace vlsipart {
+
+MlPartitioner::MlPartitioner(MlConfig config, std::string name)
+    : config_(config), name_(std::move(name)) {
+  if (name_.empty()) {
+    name_ = std::string("ml-") + (config_.refine.clip ? "clip" : "fm");
+  }
+}
+
+Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
+                                   std::vector<PartId>& parts,
+                                   bool restricted) {
+  const Hypergraph& fine = *problem.graph;
+
+  CoarsenConfig coarsen_config = config_.coarsen;
+  coarsen_config.respect_parts = restricted;
+  const std::vector<PartId> guide = restricted ? parts : std::vector<PartId>{};
+  std::vector<CoarsenLevel> levels =
+      build_hierarchy(fine, coarsen_config, problem.fixed, guide, rng);
+
+  // Fixed constraints at each level.
+  std::vector<std::vector<PartId>> fixed_at_level;
+  fixed_at_level.reserve(levels.size() + 1);
+  fixed_at_level.push_back(problem.fixed);
+  for (const CoarsenLevel& level : levels) {
+    const auto& prev = fixed_at_level.back();
+    if (prev.empty()) {
+      fixed_at_level.emplace_back();
+    } else {
+      fixed_at_level.push_back(project_fixed(prev, level.fine_to_coarse,
+                                             level.coarse.num_vertices()));
+    }
+  }
+
+  const Hypergraph* coarsest =
+      levels.empty() ? &fine : &levels.back().coarse;
+
+  PartitionProblem coarse_problem;
+  coarse_problem.graph = coarsest;
+  coarse_problem.balance = problem.balance;
+  coarse_problem.fixed = fixed_at_level.back();
+
+  // Coarsest-level solution.
+  std::vector<PartId> coarse_parts;
+  if (restricted) {
+    // Project the guiding solution down the (part-respecting) hierarchy;
+    // the projected cut equals the fine cut by construction.
+    coarse_parts = guide;
+    for (const CoarsenLevel& level : levels) {
+      std::vector<PartId> next(level.coarse.num_vertices(), kNoPart);
+      for (std::size_t v = 0; v < coarse_parts.size(); ++v) {
+        next[level.fine_to_coarse[v]] = coarse_parts[v];
+      }
+      coarse_parts = std::move(next);
+    }
+    PartitionState state(*coarsest);
+    state.assign(coarse_parts);
+    FmRefiner refiner(coarse_problem, config_.refine);
+    refiner.refine(state, rng);
+    coarse_parts = state.parts();
+  } else {
+    Weight best = std::numeric_limits<Weight>::max();
+    FmRefiner refiner(coarse_problem, config_.refine);
+    for (std::size_t t = 0; t < std::max<std::size_t>(1, config_.initial_tries);
+         ++t) {
+      std::vector<PartId> trial =
+          make_initial(coarse_problem, config_.initial_scheme, t, rng);
+      PartitionState state(*coarsest);
+      state.assign(trial);
+      refiner.refine(state, rng);
+      const bool feasible =
+          check_solution(coarse_problem, state.parts()).empty();
+      const Weight cut = state.cut();
+      if (coarse_parts.empty() || (feasible && cut < best)) {
+        if (feasible || coarse_parts.empty()) {
+          best = feasible ? cut : best;
+          coarse_parts = state.parts();
+        }
+      }
+    }
+  }
+
+  // Uncoarsen + refine.
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    const Hypergraph* level_graph = (i == 0) ? &fine : &levels[i - 1].coarse;
+    coarse_parts = project_partition(levels[i].fine_to_coarse, coarse_parts);
+
+    PartitionProblem level_problem;
+    level_problem.graph = level_graph;
+    level_problem.balance = problem.balance;
+    level_problem.fixed = fixed_at_level[i];
+
+    PartitionState state(*level_graph);
+    state.assign(coarse_parts);
+    FmRefiner refiner(level_problem, config_.refine);
+    refiner.refine(state, rng);
+    coarse_parts = state.parts();
+  }
+
+  parts = std::move(coarse_parts);
+  if (levels.empty() && !restricted) {
+    // Graph was already small: coarse_parts solved on `fine` directly.
+    return compute_cut(fine, parts);
+  }
+  return compute_cut(fine, parts);
+}
+
+Weight MlPartitioner::run(const PartitionProblem& problem, Rng& rng,
+                          std::vector<PartId>& parts) {
+  Weight cut = run_internal(problem, rng, parts, /*restricted=*/false);
+  for (std::size_t c = 0; c < config_.vcycles; ++c) {
+    const Weight improved = vcycle(problem, rng, parts);
+    if (improved >= cut) break;
+    cut = improved;
+  }
+  return cut;
+}
+
+Weight MlPartitioner::vcycle(const PartitionProblem& problem, Rng& rng,
+                             std::vector<PartId>& parts) {
+  VP_CHECK(parts.size() == problem.graph->num_vertices(),
+           "v-cycle needs a full assignment");
+  std::vector<PartId> candidate = parts;
+  const Weight before = compute_cut(*problem.graph, parts);
+  const Weight after =
+      run_internal(problem, rng, candidate, /*restricted=*/true);
+  if (after <= before && check_solution(problem, candidate).empty()) {
+    parts = std::move(candidate);
+    return after;
+  }
+  return before;
+}
+
+MultistartResult run_hmetis_like(const PartitionProblem& problem,
+                                 MlPartitioner& partitioner,
+                                 std::size_t num_starts,
+                                 std::size_t vcycles_on_best,
+                                 std::uint64_t seed) {
+  MultistartResult result =
+      run_multistart(problem, partitioner, num_starts, seed);
+  if (result.best_parts.empty() || vcycles_on_best == 0) return result;
+
+  // "hMetis-1.5 will V-cycle the best result among these starts": apply
+  // the trailing V-cycles to the winner, counting their CPU.
+  Rng rng(seed ^ 0x5ec5eedc0ffeeULL);
+  CpuTimer timer;
+  Weight cut = result.best_cut;
+  for (std::size_t c = 0; c < vcycles_on_best; ++c) {
+    const Weight improved =
+        partitioner.vcycle(problem, rng, result.best_parts);
+    if (improved >= cut) break;
+    cut = improved;
+  }
+  result.best_cut = cut;
+  result.total_cpu_seconds += timer.elapsed();
+  return result;
+}
+
+}  // namespace vlsipart

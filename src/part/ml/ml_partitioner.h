@@ -1,0 +1,79 @@
+// Multilevel FM bipartitioner with V-cycling — the "ML LIFO FM" /
+// "ML CLIP FM" engines of Table 1 and the hMetis-1.5-like engine
+// evaluated in Tables 4-5 (see DESIGN.md for the substitution note).
+//
+// Pipeline per start:
+//   1. coarsen:   heavy-edge first-choice clustering to ~coarsen_to
+//                 vertices (coarsen.h);
+//   2. initial:   several random feasible solutions of the coarsest
+//                 graph, each FM-refined; keep the best;
+//   3. uncoarsen: project each level up and FM-refine with the
+//                 configured (LIFO or CLIP) flat engine.
+//
+// vcycle() implements the refinement trick of hMetis [25][26]: take an
+// existing solution, re-coarsen *respecting its parts*, and re-run the
+// uncoarsening refinement.  The harness function run_hmetis_like()
+// reproduces the paper's evaluation protocol: N starts, then V-cycle the
+// best result among them ("hMetis-1.5 will V-cycle the best result among
+// these starts", Sec. 3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/part/core/multistart.h"
+#include "src/part/core/partitioner.h"
+#include "src/part/ml/coarsen.h"
+
+namespace vlsipart {
+
+struct MlConfig {
+  CoarsenConfig coarsen;
+  /// FM policy used at every level (CLIP toggles "ML CLIP" vs "ML LIFO").
+  FmConfig refine;
+  /// Initial solutions tried at the coarsest level.
+  std::size_t initial_tries = 8;
+  /// Generator for those tries (random / BFS region growing / mixed).
+  InitialScheme initial_scheme = InitialScheme::kRandom;
+  /// V-cycles applied at the end of each start (0 = plain multilevel;
+  /// the hMetis-like harness V-cycles only the best of N starts instead).
+  std::size_t vcycles = 0;
+};
+
+class MlPartitioner final : public Bipartitioner {
+ public:
+  explicit MlPartitioner(MlConfig config, std::string name = {});
+
+  std::string name() const override { return name_; }
+  Weight run(const PartitionProblem& problem, Rng& rng,
+             std::vector<PartId>& parts) override;
+
+  /// One V-cycle: restricted coarsening around `parts`, then refinement.
+  /// Returns the (never worse) cut.
+  Weight vcycle(const PartitionProblem& problem, Rng& rng,
+                std::vector<PartId>& parts);
+
+  const MlConfig& config() const { return config_; }
+
+ private:
+  /// Core multilevel descent: builds a hierarchy (optionally respecting
+  /// `parts` when restricted), solves/adopts the coarsest solution, and
+  /// refines on the way up.
+  Weight run_internal(const PartitionProblem& problem, Rng& rng,
+                      std::vector<PartId>& parts, bool restricted);
+
+  MlConfig config_;
+  std::string name_;
+};
+
+/// The paper's hMetis evaluation protocol (Sec. 3.2): run `num_starts`
+/// independent ML starts, keep the best, then V-cycle it `vcycles_on_best`
+/// times.  Returns the multistart record with best_parts/best_cut updated
+/// by the trailing V-cycles and total CPU including them.
+MultistartResult run_hmetis_like(const PartitionProblem& problem,
+                                 MlPartitioner& partitioner,
+                                 std::size_t num_starts,
+                                 std::size_t vcycles_on_best,
+                                 std::uint64_t seed);
+
+}  // namespace vlsipart

@@ -1,0 +1,37 @@
+// Minimal command-line option parser for examples and bench binaries.
+//
+// Supports "--name value", "--name=value" and boolean "--flag" styles so
+// every bench can expose the knobs the paper varies (tolerance, starts,
+// instance set, scale) without pulling in an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vlsipart {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Non-option positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Comma-separated list value, e.g. --cases ibm01,ibm02.
+  std::vector<std::string> get_list(const std::string& name,
+                                    const std::string& fallback) const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vlsipart

@@ -1,0 +1,42 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vlsipart {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::string what = std::string("VP_CHECK failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!message.empty()) what += " — " + message;
+  throw std::logic_error(what);
+}
+
+}  // namespace vlsipart

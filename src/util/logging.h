@@ -1,0 +1,58 @@
+// Lightweight leveled logging and checked assertions.
+//
+// VP_CHECK is an always-on invariant check (the library is a research
+// testbed; silently corrupt gain structures are exactly the kind of
+// "implicit implementation decision" bug the paper warns about, so we
+// fail fast).  VP_DCHECK compiles out in release builds for hot paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vlsipart {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line to stderr with a level prefix.
+void log_message(LogLevel level, const std::string& message);
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace vlsipart
+
+#define VP_LOG(level, msg)                                            \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::vlsipart::log_level())) {                  \
+      std::ostringstream vp_log_stream_;                              \
+      vp_log_stream_ << msg;                                          \
+      ::vlsipart::log_message(level, vp_log_stream_.str());           \
+    }                                                                 \
+  } while (0)
+
+#define VP_INFO(msg) VP_LOG(::vlsipart::LogLevel::kInfo, msg)
+#define VP_WARN(msg) VP_LOG(::vlsipart::LogLevel::kWarn, msg)
+#define VP_DEBUG(msg) VP_LOG(::vlsipart::LogLevel::kDebug, msg)
+
+#define VP_CHECK(expr, msg)                                           \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream vp_check_stream_;                            \
+      vp_check_stream_ << msg;                                        \
+      ::vlsipart::check_failed(#expr, __FILE__, __LINE__,             \
+                               vp_check_stream_.str());               \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define VP_DCHECK(expr, msg) \
+  do {                       \
+  } while (0)
+#else
+#define VP_DCHECK(expr, msg) VP_CHECK(expr, msg)
+#endif

@@ -1,0 +1,70 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace vlsipart {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * mul;
+  has_cached_normal_ = true;
+  return u * mul;
+}
+
+double Rng::exponential(double lambda) {
+  // Inverse transform; guard against log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(1.0 - u) / lambda;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::truncated_geometric(std::uint64_t lo, std::uint64_t hi,
+                                       double p) {
+  if (lo >= hi) return lo;
+  std::uint64_t k = lo;
+  while (k < hi && !bernoulli(p)) ++k;
+  return k;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix the current state with the stream id through splitmix64 so that
+  // distinct stream ids give statistically independent child generators.
+  std::uint64_t mix = state_[0] ^ (state_[3] + 0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,144 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vlsipart {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  mean_ += delta * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Sample::ensure_sorted() const {
+  if (sorted_) return;
+  auto& v = const_cast<std::vector<double>&>(values_);
+  std::sort(v.begin(), v.end());
+  sorted_ = true;
+}
+
+double Sample::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Sample::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Sample::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Sample::stddev() const {
+  const std::size_t n = values_.size();
+  if (n < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double v : values_) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(n - 1));
+}
+
+double Sample::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  if (q <= 0.0) return values_.front();
+  if (q >= 1.0) return values_.back();
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+double Sample::expected_min_of(std::size_t k) const {
+  if (values_.empty() || k == 0) return 0.0;
+  ensure_sorted();
+  const std::size_t n = values_.size();
+  if (k >= n) return values_.front();
+  // P(min of k > x_(i)) = C(n-i, k) / C(n, k) where i is 1-based rank.
+  // E[min] = sum_i x_(i) * [P(min >= x_(i)) - P(min >= x_(i+1))]
+  // Compute tail probabilities p_i = C(n-i+1, k)/C(n, k) iteratively:
+  //   p_1 = ... easier: q_i = P(all k draws have rank > i)
+  //        = prod_{j=0}^{k-1} (n-i-j)/(n-j)
+  // and the weight of x_(i) is q_{i-1} - q_i.
+  double expectation = 0.0;
+  double q_prev = 1.0;  // q_0
+  for (std::size_t i = 1; i <= n; ++i) {
+    double q_i = 1.0;
+    if (n - i >= k) {
+      q_i = q_prev;
+      // q_i = q_{i-1} * (n-i-k+1)/(n-i+1)
+      q_i *= static_cast<double>(n - i - k + 1) /
+             static_cast<double>(n - i + 1);
+    } else {
+      q_i = 0.0;
+    }
+    expectation += values_[i - 1] * (q_prev - q_i);
+    q_prev = q_i;
+    if (q_prev <= 0.0) break;
+  }
+  return expectation;
+}
+
+double Sample::geometric_mean() const {
+  if (values_.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values_) {
+    if (v <= 0.0) return 0.0;  // undefined; callers check positivity
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values_.size()));
+}
+
+double Sample::prob_min_leq(std::size_t k, double threshold) const {
+  if (values_.empty() || k == 0) return 0.0;
+  ensure_sorted();
+  const auto it =
+      std::upper_bound(values_.begin(), values_.end(), threshold);
+  const auto c = static_cast<std::size_t>(it - values_.begin());
+  const std::size_t n = values_.size();
+  if (c == 0) return 0.0;
+  // P(min <= t) = 1 - P(all k draws > t) = 1 - ((n-c)/n)^k with
+  // replacement semantics (empirical distribution).
+  const double miss = static_cast<double>(n - c) / static_cast<double>(n);
+  return 1.0 - std::pow(miss, static_cast<double>(k));
+}
+
+}  // namespace vlsipart

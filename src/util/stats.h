@@ -1,0 +1,83 @@
+// Streaming statistics accumulators and sample-based descriptors.
+//
+// The paper's reporting sections call for min/average-over-starts tables
+// (Tables 1-5) plus distributional descriptors ("standard deviations and
+// other descriptors of the distributions").  RunningStats is a Welford
+// accumulator; Sample keeps the raw values for order statistics (needed by
+// best-so-far curves, Sec. 3.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vlsipart {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Merge another accumulator into this one (parallel composition).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A retained sample supporting order statistics and multistart math.
+class Sample {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Expected minimum of k independent draws from the empirical
+  /// distribution, computed exactly from order statistics:
+  ///   E[min of k] = sum_i x_(i) * [C(n-i, k)-C(n-i-1, k)] / C(n, k)
+  /// evaluated in a numerically stable product form.  This is the
+  /// building block of the best-so-far (BSF) curve of Barr et al. that
+  /// the paper recommends for multistart reporting.
+  double expected_min_of(std::size_t k) const;
+
+  /// Empirical probability that the best of k draws is <= threshold.
+  double prob_min_leq(std::size_t k, double threshold) const;
+
+  /// Geometric mean; all values must be positive.  The standard
+  /// cross-instance summary in the partitioning literature (ratios to a
+  /// baseline averaged multiplicatively).
+  double geometric_mean() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace vlsipart

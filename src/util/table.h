@@ -1,0 +1,47 @@
+// Plain-text and CSV table rendering for bench/report output.
+//
+// Every bench binary regenerates one of the paper's tables; TextTable
+// formats aligned columns the way the paper prints them (e.g. the
+// "min/avg" cell style of Tables 1-3) and can also emit CSV for
+// downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vlsipart {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned, space-padded columns and a header rule.
+  std::string to_string() const;
+
+  /// Render as CSV (no alignment padding).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 1 decimal, like the
+/// paper's cut/CPU cells).
+std::string fmt_fixed(double value, int decimals = 1);
+
+/// "min/avg" cell used throughout Tables 1-3.
+std::string fmt_min_avg(double min, double avg, int decimals = 0);
+
+/// "avgcut/avgcpu" cell used in Tables 4-5.  CPU keeps two decimals by
+/// default since scaled-down default benches run in fractional seconds.
+std::string fmt_cut_cpu(double cut, double cpu, int cpu_decimals = 2);
+
+}  // namespace vlsipart

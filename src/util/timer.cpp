@@ -1,0 +1,16 @@
+#include "src/util/timer.h"
+
+#include <ctime>
+
+namespace vlsipart {
+
+double process_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+}  // namespace vlsipart

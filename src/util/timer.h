@@ -1,0 +1,43 @@
+// Wall-clock and CPU timers.
+//
+// The paper insists on "actual CPU time as an axis of comparison, as
+// opposed to coarser-grain quanta such as 'number of starts'" (Sec. 3.2).
+// Timer exposes both wall and process-CPU readings so harnesses can report
+// whichever is appropriate (benches report CPU seconds, like the paper).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace vlsipart {
+
+/// Process CPU time in seconds (user+system), from clock().
+double process_cpu_seconds();
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+  void reset() { start_ = Clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process-CPU stopwatch.
+class CpuTimer {
+ public:
+  CpuTimer() { reset(); }
+  void reset() { start_ = process_cpu_seconds(); }
+  double elapsed() const { return process_cpu_seconds() - start_; }
+
+ private:
+  double start_ = 0.0;
+};
+
+}  // namespace vlsipart

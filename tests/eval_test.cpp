@@ -1,0 +1,176 @@
+// Tests for objectives, BSF curves and Pareto-frontier reporting.
+#include <gtest/gtest.h>
+
+#include "src/eval/bsf.h"
+#include "src/eval/objectives.h"
+#include "src/eval/pareto.h"
+#include "src/hypergraph/hypergraph.h"
+
+namespace vlsipart {
+namespace {
+
+Hypergraph toy() {
+  // 4 vertices (weights 1,2,3,4), nets {0,1}, {1,2,3}, {0,3} (weight 2).
+  HypergraphBuilder b(4);
+  b.set_vertex_weight(1, 2);
+  b.set_vertex_weight(2, 3);
+  b.set_vertex_weight(3, 4);
+  b.add_edge({0, 1});
+  b.add_edge({1, 2, 3});
+  b.add_edge({0, 3}, 2);
+  return b.finalize();
+}
+
+TEST(Objectives, CutSize) {
+  const Hypergraph h = toy();
+  const std::vector<PartId> parts = {0, 0, 1, 1};
+  // Cut nets: {1,2,3} (w1) and {0,3} (w2) -> 3.
+  EXPECT_EQ(cut_size(h, parts), 3);
+  const std::vector<PartId> all0 = {0, 0, 0, 0};
+  EXPECT_EQ(cut_size(h, all0), 0);
+}
+
+TEST(Objectives, RatioCut) {
+  const Hypergraph h = toy();
+  const std::vector<PartId> parts = {0, 0, 1, 1};
+  // w(P0) = 3, w(P1) = 7, cut = 3.
+  EXPECT_DOUBLE_EQ(ratio_cut(h, parts), 3.0 / 21.0);
+  const std::vector<PartId> degenerate = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(ratio_cut(h, degenerate), 0.0);
+}
+
+TEST(Objectives, ScaledCost) {
+  const Hypergraph h = toy();
+  const std::vector<PartId> parts = {0, 0, 1, 1};
+  // (3/3 + 3/7) / 4.
+  EXPECT_DOUBLE_EQ(scaled_cost(h, parts), (1.0 + 3.0 / 7.0) / 4.0);
+}
+
+TEST(Objectives, Absorption) {
+  const Hypergraph h = toy();
+  const std::vector<PartId> all0 = {0, 0, 0, 0};
+  // Fully absorbed: every net contributes 1 -> 3.0.
+  EXPECT_DOUBLE_EQ(absorption(h, all0), 3.0);
+  const std::vector<PartId> parts = {0, 0, 1, 1};
+  // {0,1}: both in P0 -> 1. {1,2,3}: P0 has 1 pin (0), P1 has 2 ->
+  // (0 + 1)/2 = 0.5. {0,3}: split -> 0.
+  EXPECT_DOUBLE_EQ(absorption(h, parts), 1.5);
+}
+
+TEST(Objectives, SumOfExternalDegrees) {
+  const Hypergraph h = toy();
+  const std::vector<PartId> parts = {0, 0, 1, 1};
+  // {1,2,3}: (3-1)*1 = 2; {0,3}: (2-1)*2 = 2 -> 4.
+  EXPECT_EQ(sum_of_external_degrees(h, parts), 4);
+}
+
+TEST(Bsf, ExpectedCurveMonotone) {
+  Sample cuts;
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) cuts.add(rng.uniform(100.0, 300.0));
+  const auto curve =
+      expected_bsf_curve(cuts, 0.5, {1, 2, 4, 8, 16, 32, 60});
+  ASSERT_EQ(curve.size(), 7u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].expected_cost, curve[i - 1].expected_cost);
+    EXPECT_GT(curve[i].cpu_seconds, curve[i - 1].cpu_seconds);
+  }
+  EXPECT_DOUBLE_EQ(curve[0].cpu_seconds, 0.5);
+  EXPECT_NEAR(curve[0].expected_cost, cuts.mean(), 1e-9);
+  EXPECT_NEAR(curve.back().expected_cost, cuts.min(), 1e-9);
+}
+
+TEST(Bsf, ObservedCurveTracksBest) {
+  std::vector<StartRecord> starts;
+  const double cuts[] = {50, 40, 45, 30, 60};
+  for (double c : cuts) {
+    StartRecord r;
+    r.cut = static_cast<Weight>(c);
+    r.cpu_seconds = 1.0;
+    r.feasible = true;
+    starts.push_back(r);
+  }
+  const auto curve = observed_bsf_curve(starts);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve[0].expected_cost, 50);
+  EXPECT_DOUBLE_EQ(curve[1].expected_cost, 40);
+  EXPECT_DOUBLE_EQ(curve[2].expected_cost, 40);
+  EXPECT_DOUBLE_EQ(curve[3].expected_cost, 30);
+  EXPECT_DOUBLE_EQ(curve[4].expected_cost, 30);
+  EXPECT_DOUBLE_EQ(curve[4].cpu_seconds, 5.0);
+}
+
+TEST(Bsf, InfeasibleStartsIgnoredInObservedCurve) {
+  std::vector<StartRecord> starts(2);
+  starts[0].cut = 10;
+  starts[0].feasible = false;
+  starts[0].cpu_seconds = 1.0;
+  starts[1].cut = 99;
+  starts[1].feasible = true;
+  starts[1].cpu_seconds = 1.0;
+  const auto curve = observed_bsf_curve(starts);
+  EXPECT_DOUBLE_EQ(curve[1].expected_cost, 99);
+}
+
+TEST(Bsf, FormatContainsLabel) {
+  Sample cuts;
+  cuts.add(5.0);
+  const auto curve = expected_bsf_curve(cuts, 1.0, {1});
+  EXPECT_NE(format_bsf(curve, "flat-fm").find("flat-fm"),
+            std::string::npos);
+}
+
+TEST(Pareto, DominanceIsStrict) {
+  const PerfPoint a{10.0, 5.0, "a"};
+  const PerfPoint b{9.0, 4.0, "b"};
+  const PerfPoint c{10.0, 4.0, "c"};
+  EXPECT_TRUE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, b));
+  EXPECT_FALSE(dominates(c, a));  // equal cost: not strict dominance
+  EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(Pareto, FrontierDropsDominatedPoints) {
+  std::vector<PerfPoint> pts = {
+      {100, 1, "fast-bad"}, {50, 10, "slow-good"}, {80, 5, "middle"},
+      {90, 6, "dominated-by-middle"}, {120, 2, "dominated-by-fast"},
+  };
+  const auto frontier = pareto_frontier(pts);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].label, "fast-bad");
+  EXPECT_EQ(frontier[1].label, "middle");
+  EXPECT_EQ(frontier[2].label, "slow-good");
+}
+
+TEST(Pareto, EqualPointsAllKept) {
+  std::vector<PerfPoint> pts = {{10, 1, "x"}, {10, 1, "y"}};
+  EXPECT_EQ(pareto_frontier(pts).size(), 2u);
+}
+
+TEST(Pareto, FrontierOfEmptyAndSingle) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+  const auto single = pareto_frontier({{5, 5, "only"}});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].label, "only");
+}
+
+TEST(Pareto, RankingDiagramPicksAffordableBest) {
+  std::vector<PerfPoint> pts = {
+      {100, 1, "flat"}, {60, 5, "clip"}, {40, 20, "ml"},
+  };
+  const auto ranking = ranking_diagram(pts, {0.5, 2.0, 10.0, 30.0});
+  ASSERT_EQ(ranking.size(), 4u);
+  EXPECT_EQ(ranking[0].winner, "");  // nothing affordable at 0.5s
+  EXPECT_EQ(ranking[1].winner, "flat");
+  EXPECT_EQ(ranking[2].winner, "clip");
+  EXPECT_EQ(ranking[3].winner, "ml");
+}
+
+TEST(Pareto, FormatFrontier) {
+  const auto s = format_frontier({{10, 1, "x"}});
+  EXPECT_NE(s.find('x'), std::string::npos);
+  EXPECT_NE(s.find("frontier"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlsipart

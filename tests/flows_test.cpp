@@ -1,0 +1,92 @@
+// Tests for the top-down placement flow (the motivating use model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/flows/topdown_place.h"
+#include "src/gen/netlist_gen.h"
+#include "src/util/rng.h"
+
+namespace vlsipart {
+namespace {
+
+TEST(TopdownPlace, AllCellsInsideCore) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  PlacerConfig config;
+  config.core_width = 100.0;
+  config.core_height = 80.0;
+  const PlacementReport report = topdown_place(h, config);
+  ASSERT_EQ(report.placement.x.size(), h.num_vertices());
+  for (std::size_t v = 0; v < h.num_vertices(); ++v) {
+    EXPECT_GE(report.placement.x[v], 0.0);
+    EXPECT_LE(report.placement.x[v], 100.0);
+    EXPECT_GE(report.placement.y[v], 0.0);
+    EXPECT_LE(report.placement.y[v], 80.0);
+  }
+}
+
+TEST(TopdownPlace, RecursesAndPropagatesTerminals) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PlacementReport report = topdown_place(h, PlacerConfig{});
+  // 624 cells with 24-cell leaves -> dozens of bisections, and crossing
+  // nets must have produced fixed terminals.
+  EXPECT_GT(report.regions_partitioned, 20u);
+  EXPECT_GT(report.terminals_created, 0u);
+  EXPECT_GT(report.hpwl, 0.0);
+}
+
+TEST(TopdownPlace, BeatsRandomPlacementOnHpwl) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PlacementReport report = topdown_place(h, PlacerConfig{});
+
+  // Random placement baseline in the same core.
+  const double side =
+      std::sqrt(static_cast<double>(h.total_vertex_weight()));
+  Placement random;
+  random.x.resize(h.num_vertices());
+  random.y.resize(h.num_vertices());
+  Rng rng(5);
+  for (std::size_t v = 0; v < h.num_vertices(); ++v) {
+    random.x[v] = rng.uniform(0.0, side);
+    random.y[v] = rng.uniform(0.0, side);
+  }
+  const double random_hpwl = hpwl(h, random);
+  // Min-cut placement should beat random wirelength by a wide margin.
+  EXPECT_LT(report.hpwl, 0.7 * random_hpwl);
+}
+
+TEST(TopdownPlace, DeterministicForConfig) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  PlacerConfig config;
+  config.seed = 33;
+  const PlacementReport a = topdown_place(h, config);
+  const PlacementReport b = topdown_place(h, config);
+  EXPECT_EQ(a.placement.x, b.placement.x);
+  EXPECT_EQ(a.placement.y, b.placement.y);
+  EXPECT_DOUBLE_EQ(a.hpwl, b.hpwl);
+}
+
+TEST(TopdownPlace, LeafOnlyInstance) {
+  // Instance smaller than leaf_cells: no partitioning at all.
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  PlacerConfig config;
+  config.leaf_cells = 10000;
+  const PlacementReport report = topdown_place(h, config);
+  EXPECT_EQ(report.regions_partitioned, 0u);
+  EXPECT_GT(report.hpwl, 0.0);
+}
+
+TEST(Hpwl, HandComputed) {
+  HypergraphBuilder b(3);
+  b.add_edge({0, 1});
+  b.add_edge({0, 1, 2}, 3);
+  const Hypergraph h = b.finalize();
+  Placement pl;
+  pl.x = {0.0, 2.0, 1.0};
+  pl.y = {0.0, 0.0, 5.0};
+  // Net {0,1}: 2 + 0 = 2.  Net {0,1,2} (w3): (2 + 5) * 3 = 21.
+  EXPECT_DOUBLE_EQ(hpwl(h, pl), 23.0);
+}
+
+}  // namespace
+}  // namespace vlsipart

@@ -1,0 +1,136 @@
+// Tests for FM pass-trace recording and pass-statistics bookkeeping.
+#include <gtest/gtest.h>
+
+#include "src/gen/netlist_gen.h"
+#include "src/part/core/fm_refiner.h"
+#include "src/part/core/initial.h"
+
+namespace vlsipart {
+namespace {
+
+PartitionProblem make_problem(const Hypergraph& h, double tol) {
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), tol);
+  return p;
+}
+
+TEST(FmTrace, RecordedOnlyWhenEnabled) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  Rng rng(1);
+  auto parts = random_initial(p, rng);
+
+  PartitionState off_state(h);
+  off_state.assign(parts);
+  FmRefiner off(p, FmConfig{});
+  Rng r1(2);
+  EXPECT_TRUE(off.refine(off_state, r1).pass_traces.empty());
+
+  PartitionState on_state(h);
+  on_state.assign(parts);
+  FmConfig traced;
+  traced.record_trace = true;
+  FmRefiner on(p, traced);
+  Rng r2(2);
+  const FmResult r = on.refine(on_state, r2);
+  EXPECT_EQ(r.pass_traces.size(), r.passes);
+}
+
+TEST(FmTrace, TraceLengthsMatchMoveCounts) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  Rng rng(3);
+  auto parts = random_initial(p, rng);
+  PartitionState state(h);
+  state.assign(parts);
+  FmConfig cfg;
+  cfg.record_trace = true;
+  FmRefiner refiner(p, cfg);
+  const FmResult r = refiner.refine(state, rng);
+  ASSERT_EQ(r.pass_traces.size(), r.pass_stats.size());
+  for (std::size_t i = 0; i < r.pass_traces.size(); ++i) {
+    EXPECT_EQ(r.pass_traces[i].size(), r.pass_stats[i].moves_made);
+  }
+}
+
+TEST(FmTrace, BestPrefixValueAppearsInTrace) {
+  // The cut after rollback must equal the minimum over the trace prefix
+  // that was kept (or the pass-start cut when nothing was kept).
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  Rng rng(5);
+  auto parts = random_initial(p, rng);
+  PartitionState state(h);
+  state.assign(parts);
+  FmConfig cfg;
+  cfg.record_trace = true;
+  FmRefiner refiner(p, cfg);
+  const FmResult r = refiner.refine(state, rng);
+  for (std::size_t i = 0; i < r.pass_traces.size(); ++i) {
+    const auto& stats = r.pass_stats[i];
+    const auto& trace = r.pass_traces[i];
+    if (stats.moves_kept == 0) {
+      EXPECT_EQ(stats.cut_after, stats.cut_before);
+    } else {
+      ASSERT_LE(stats.moves_kept, trace.size());
+      EXPECT_EQ(stats.cut_after, trace[stats.moves_kept - 1]);
+      // And it is the minimum over the kept prefix.
+      Weight prefix_min = trace[0];
+      for (std::size_t m = 0; m < stats.moves_kept; ++m) {
+        prefix_min = std::min(prefix_min, trace[m]);
+      }
+      EXPECT_EQ(stats.cut_after, prefix_min);
+    }
+  }
+}
+
+TEST(FmTrace, PassStatsCountUpdates) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  Rng rng(7);
+  auto parts = random_initial(p, rng);
+
+  // All-dgain performs zero-delta updates; Nonzero performs none.
+  FmConfig all;
+  all.zero_gain_update = ZeroGainUpdate::kAll;
+  all.max_passes = 1;
+  PartitionState s1(h);
+  s1.assign(parts);
+  FmRefiner r1(p, all);
+  Rng ra(9);
+  const FmResult res_all = r1.refine(s1, ra);
+  EXPECT_GT(res_all.pass_stats.at(0).zero_delta_updates, 0u);
+
+  FmConfig nonzero;
+  nonzero.zero_gain_update = ZeroGainUpdate::kNonzero;
+  nonzero.max_passes = 1;
+  PartitionState s2(h);
+  s2.assign(parts);
+  FmRefiner r2(p, nonzero);
+  Rng rb(9);
+  const FmResult res_nz = r2.refine(s2, rb);
+  EXPECT_EQ(res_nz.pass_stats.at(0).zero_delta_updates, 0u);
+  EXPECT_GT(res_nz.pass_stats.at(0).nonzero_delta_updates, 0u);
+}
+
+TEST(FmTrace, MonotoneImprovementAcrossPasses) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.02);
+  Rng rng(11);
+  auto parts = random_initial(p, rng);
+  PartitionState state(h);
+  state.assign(parts);
+  FmRefiner refiner(p, FmConfig{});
+  const FmResult r = refiner.refine(state, rng);
+  for (std::size_t i = 0; i < r.pass_stats.size(); ++i) {
+    EXPECT_LE(r.pass_stats[i].cut_after, r.pass_stats[i].cut_before)
+        << "pass " << i;
+    if (i > 0) {
+      EXPECT_EQ(r.pass_stats[i].cut_before, r.pass_stats[i - 1].cut_after);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vlsipart

@@ -1,0 +1,199 @@
+// Tests for the bucket-array gain container, including the insertion-
+// order policies whose effects the paper (and [21]) study.
+#include <gtest/gtest.h>
+
+#include "src/part/core/gain_container.h"
+
+namespace vlsipart {
+namespace {
+
+TEST(GainContainer, InsertRemoveBasics) {
+  GainContainer c(8, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(10);
+  EXPECT_TRUE(c.empty());
+  c.insert(3, 0, 5, rng);
+  c.insert(4, 1, -2, rng);
+  EXPECT_FALSE(c.empty());
+  EXPECT_EQ(c.size(0), 1u);
+  EXPECT_EQ(c.size(1), 1u);
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_EQ(c.key(3), 5);
+  EXPECT_EQ(c.side_of(3), 0);
+  EXPECT_EQ(c.max_key(0), 5);
+  EXPECT_EQ(c.max_key(1), -2);
+  c.remove(3);
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_EQ(c.size(0), 0u);
+}
+
+TEST(GainContainer, LifoOrderWithinBucket) {
+  GainContainer c(8, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(5);
+  c.insert(0, 0, 3, rng);
+  c.insert(1, 0, 3, rng);
+  c.insert(2, 0, 3, rng);
+  // LIFO: last inserted at the head.
+  EXPECT_EQ(c.bucket_head(0, 3), 2u);
+  EXPECT_EQ(c.next_in_bucket(2), 1u);
+  EXPECT_EQ(c.next_in_bucket(1), 0u);
+  EXPECT_EQ(c.next_in_bucket(0), kInvalidVertex);
+}
+
+TEST(GainContainer, FifoOrderWithinBucket) {
+  GainContainer c(8, InsertOrder::kFifo);
+  Rng rng(1);
+  c.reset(5);
+  c.insert(0, 0, 3, rng);
+  c.insert(1, 0, 3, rng);
+  c.insert(2, 0, 3, rng);
+  EXPECT_EQ(c.bucket_head(0, 3), 0u);
+  EXPECT_EQ(c.next_in_bucket(0), 1u);
+  EXPECT_EQ(c.next_in_bucket(1), 2u);
+}
+
+TEST(GainContainer, RandomOrderIsDeterministicGivenSeed) {
+  auto heads = [](std::uint64_t seed) {
+    GainContainer c(16, InsertOrder::kRandom);
+    Rng rng(seed);
+    c.reset(5);
+    for (VertexId v = 0; v < 16; ++v) c.insert(v, 0, 0, rng);
+    std::vector<VertexId> order;
+    for (VertexId v = c.bucket_head(0, 0); v != kInvalidVertex;
+         v = c.next_in_bucket(v)) {
+      order.push_back(v);
+    }
+    return order;
+  };
+  EXPECT_EQ(heads(42), heads(42));
+  EXPECT_NE(heads(42), heads(43));
+}
+
+TEST(GainContainer, InsertAtHeadOverridesPolicy) {
+  GainContainer c(8, InsertOrder::kFifo);
+  Rng rng(1);
+  c.reset(5);
+  c.insert(0, 0, 2, rng);
+  c.insert_at_head(1, 0, 2);
+  EXPECT_EQ(c.bucket_head(0, 2), 1u);
+}
+
+TEST(GainContainer, UpdateKeyMovesBuckets) {
+  GainContainer c(8, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(10);
+  c.insert(5, 1, 0, rng);
+  c.update_key(5, 4, rng);
+  EXPECT_EQ(c.key(5), 4);
+  EXPECT_EQ(c.max_key(1), 4);
+  c.update_key(5, -7, rng);
+  EXPECT_EQ(c.key(5), -3);
+  EXPECT_EQ(c.max_key(1), -3);
+}
+
+TEST(GainContainer, UpdateKeyClampsAtBounds) {
+  GainContainer c(4, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(3);
+  c.insert(0, 0, 2, rng);
+  c.update_key(0, 100, rng);
+  EXPECT_EQ(c.key(0), 3);
+  c.update_key(0, -100, rng);
+  EXPECT_EQ(c.key(0), -3);
+}
+
+TEST(GainContainer, ReinsertShiftsPositionUnderLifo) {
+  // The All-dgain zero-delta update: reinsertion moves a vertex to the
+  // head under LIFO — the position shift the paper describes.
+  GainContainer c(8, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(5);
+  c.insert(0, 0, 1, rng);
+  c.insert(1, 0, 1, rng);
+  c.insert(2, 0, 1, rng);
+  EXPECT_EQ(c.bucket_head(0, 1), 2u);
+  c.reinsert(0, rng);
+  EXPECT_EQ(c.bucket_head(0, 1), 0u);
+  EXPECT_EQ(c.key(0), 1);
+}
+
+TEST(GainContainer, MaxKeyDescendsLazily) {
+  GainContainer c(8, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(10);
+  c.insert(0, 0, 9, rng);
+  c.insert(1, 0, -4, rng);
+  EXPECT_EQ(c.max_key(0), 9);
+  c.remove(0);
+  EXPECT_EQ(c.max_key(0), -4);
+  c.insert(2, 0, 3, rng);
+  EXPECT_EQ(c.max_key(0), 3);
+}
+
+TEST(GainContainer, NextNonemptyBelow) {
+  GainContainer c(8, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(10);
+  c.insert(0, 0, 7, rng);
+  c.insert(1, 0, 2, rng);
+  c.insert(2, 0, -10, rng);
+  EXPECT_EQ(c.next_nonempty_below(0, 7), 2);
+  EXPECT_EQ(c.next_nonempty_below(0, 2), -10);
+  EXPECT_LT(c.next_nonempty_below(0, -10), c.min_representable_key());
+}
+
+TEST(GainContainer, ResetClearsEverything) {
+  GainContainer c(8, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(5);
+  c.insert(0, 0, 1, rng);
+  c.insert(1, 1, 2, rng);
+  c.reset(7);
+  EXPECT_TRUE(c.empty());
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.max_representable_key(), 7);
+}
+
+TEST(GainContainer, SidesAreSegregated) {
+  GainContainer c(8, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(5);
+  c.insert(0, 0, 4, rng);
+  c.insert(1, 1, 4, rng);
+  EXPECT_EQ(c.bucket_head(0, 4), 0u);
+  EXPECT_EQ(c.bucket_head(1, 4), 1u);
+  c.remove(0);
+  EXPECT_EQ(c.bucket_head(0, 4), kInvalidVertex);
+  EXPECT_EQ(c.bucket_head(1, 4), 1u);
+}
+
+TEST(GainContainer, MiddleRemovalRelinksList) {
+  GainContainer c(8, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(5);
+  c.insert(0, 0, 2, rng);
+  c.insert(1, 0, 2, rng);
+  c.insert(2, 0, 2, rng);  // list: 2 -> 1 -> 0
+  c.remove(1);
+  EXPECT_EQ(c.bucket_head(0, 2), 2u);
+  EXPECT_EQ(c.next_in_bucket(2), 0u);
+  EXPECT_EQ(c.next_in_bucket(0), kInvalidVertex);
+  c.remove(2);  // head removal
+  EXPECT_EQ(c.bucket_head(0, 2), 0u);
+  c.remove(0);  // tail/last removal
+  EXPECT_EQ(c.bucket_head(0, 2), kInvalidVertex);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(GainContainer, OutOfRangeBucketHeadIsInvalid) {
+  GainContainer c(4, InsertOrder::kLifo);
+  Rng rng(1);
+  c.reset(3);
+  EXPECT_EQ(c.bucket_head(0, 100), kInvalidVertex);
+  EXPECT_EQ(c.bucket_head(0, -100), kInvalidVertex);
+}
+
+}  // namespace
+}  // namespace vlsipart

@@ -1,0 +1,77 @@
+// Parameterized property sweep over every ibm preset: each generated
+// instance must satisfy the Sec. 2.1 "salient attributes of real-world
+// inputs" that the ISPD98 substitution promises (see DESIGN.md), plus
+// structural validity and determinism.
+#include <gtest/gtest.h>
+
+#include "src/gen/netlist_gen.h"
+#include "src/hypergraph/stats.h"
+
+namespace vlsipart {
+namespace {
+
+class IbmPresetSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IbmPresetSweep, MatchesPublishedScale) {
+  const GenConfig config = preset(GetParam());
+  // Keep the biggest members affordable in unit tests.
+  const double scale = config.num_cells > 80000 ? 0.5 : 1.0;
+  const Hypergraph h = generate_netlist(config.scaled(scale));
+  h.validate();
+  const InstanceStats s = compute_stats(h);
+
+  // |V| and |E| at the preset's (scaled) magnitude.
+  const double expected_v =
+      static_cast<double>(config.num_cells + config.num_pads) * scale;
+  EXPECT_NEAR(static_cast<double>(s.num_vertices), expected_v,
+              expected_v * 0.02)
+      << GetParam();
+
+  // Sec. 2.1 bands: |E| close to |V|; degrees and net sizes in 3-5-ish.
+  EXPECT_GT(s.edge_vertex_ratio, 0.8) << GetParam();
+  EXPECT_LT(s.edge_vertex_ratio, 1.6) << GetParam();
+  EXPECT_GT(s.avg_net_size, 2.0) << GetParam();
+  EXPECT_LT(s.avg_net_size, 5.5) << GetParam();
+  EXPECT_GT(s.avg_vertex_degree, 2.0) << GetParam();
+  EXPECT_LT(s.avg_vertex_degree, 6.5) << GetParam();
+
+  // A small number of huge (clock/reset class) nets.
+  EXPECT_GE(s.num_huge_nets, 1u) << GetParam();
+  EXPECT_LE(s.num_huge_nets, 30u) << GetParam();
+
+  // Wide area variation with at least one cell above a 2% balance
+  // window (the corking precondition).
+  EXPECT_GT(s.area_spread, 50.0) << GetParam();
+  EXPECT_GT(h.max_vertex_weight(),
+            h.total_vertex_weight() / 50)  // > 2% of total
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIbmPresets, IbmPresetSweep,
+                         ::testing::ValuesIn(ibm_preset_names()));
+
+class ScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleSweep, ScalingPreservesShape) {
+  const double scale = GetParam();
+  const Hypergraph h = generate_netlist(preset("ibm02").scaled(scale));
+  h.validate();
+  const InstanceStats s = compute_stats(h);
+  EXPECT_GT(s.avg_net_size, 2.0);
+  EXPECT_LT(s.avg_net_size, 5.5);
+  EXPECT_GT(s.edge_vertex_ratio, 0.7);
+  EXPECT_LT(s.edge_vertex_ratio, 1.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 1.0));
+
+TEST(GeneratorSweep, DistinctPresetsAreDistinctInstances) {
+  const Hypergraph a = generate_netlist(preset("ibm01").scaled(0.1));
+  const Hypergraph b = generate_netlist(preset("ibm02").scaled(0.1));
+  EXPECT_NE(a.num_vertices(), b.num_vertices());
+  EXPECT_NE(a.num_edges(), b.num_edges());
+}
+
+}  // namespace
+}  // namespace vlsipart

@@ -1,0 +1,173 @@
+// Tests for BFS region-growing initial solutions, the InitialScheme
+// dispatch, coarsening-scheme options, and budgeted multistart.
+#include <gtest/gtest.h>
+
+#include "src/gen/netlist_gen.h"
+#include "src/part/core/initial.h"
+#include "src/part/core/multistart.h"
+#include "src/part/core/partitioner.h"
+#include "src/part/ml/coarsen.h"
+#include "src/part/ml/ml_partitioner.h"
+
+namespace vlsipart {
+namespace {
+
+PartitionProblem make_problem(const Hypergraph& h, double tol) {
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), tol);
+  return p;
+}
+
+TEST(BfsInitial, CoversAllVerticesWithBothParts) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  Rng rng(1);
+  const auto parts = bfs_initial(p, rng);
+  ASSERT_EQ(parts.size(), h.num_vertices());
+  Weight w0 = 0;
+  Weight w1 = 0;
+  for (std::size_t v = 0; v < parts.size(); ++v) {
+    ASSERT_LE(parts[v], 1);
+    (parts[v] == 0 ? w0 : w1) += h.vertex_weight(static_cast<VertexId>(v));
+  }
+  EXPECT_GT(w0, 0);
+  EXPECT_GT(w1, 0);
+  // Region grows to roughly half the weight (within the largest single
+  // claim step, which one macro can dominate).
+  EXPECT_GE(w0, h.total_vertex_weight() / 2);
+  EXPECT_LE(w0, h.total_vertex_weight() / 2 + h.max_vertex_weight() + 1);
+}
+
+TEST(BfsInitial, LowerCutThanRandomInitial) {
+  // The whole point of region growing: the initial cut starts near the
+  // region boundary instead of ~half of all nets.
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  Rng rng(2);
+  double bfs_total = 0.0;
+  double random_total = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    bfs_total += static_cast<double>(compute_cut(h, bfs_initial(p, rng)));
+    random_total +=
+        static_cast<double>(compute_cut(h, random_initial(p, rng)));
+  }
+  EXPECT_LT(bfs_total, 0.7 * random_total);
+}
+
+TEST(BfsInitial, RespectsFixedVertices) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  PartitionProblem p = make_problem(h, 0.3);
+  p.fixed.assign(h.num_vertices(), kNoPart);
+  p.fixed[3] = 0;
+  p.fixed[8] = 1;
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const auto parts = bfs_initial(p, rng);
+    EXPECT_EQ(parts[3], 0);
+    EXPECT_EQ(parts[8], 1);
+  }
+}
+
+TEST(InitialScheme, DispatchAndNames) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.2);
+  Rng rng(4);
+  for (const InitialScheme s :
+       {InitialScheme::kRandom, InitialScheme::kBfs, InitialScheme::kMixed}) {
+    const auto parts = make_initial(p, s, 0, rng);
+    EXPECT_EQ(parts.size(), h.num_vertices());
+    EXPECT_NE(std::string(name_of(s)), "?");
+  }
+}
+
+TEST(InitialScheme, FlatEngineWithBfsStartsStaysValid) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  FlatFmPartitioner engine{FmConfig{}, "bfs-fm", InitialScheme::kBfs};
+  const MultistartResult r = run_multistart(p, engine, 8, 5);
+  for (const auto& s : r.starts) EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(check_solution(p, r.best_parts), "");
+}
+
+TEST(CoarsenScheme, MatchingHalvesAtMost) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  CoarsenConfig config;
+  config.scheme = CoarsenScheme::kHeavyEdgeMatching;
+  Rng rng(6);
+  const CoarsenLevel level = coarsen_once(h, config, {}, {}, rng);
+  // Pairs only: at most a 2x reduction.
+  EXPECT_GE(level.coarse.num_vertices(), h.num_vertices() / 2);
+  // And clusters are pairs: max coarse "cardinality" is 2, which we
+  // check via the fine-to-coarse map.
+  std::vector<int> members(level.coarse.num_vertices(), 0);
+  for (const VertexId c : level.fine_to_coarse) ++members[c];
+  for (const int m : members) EXPECT_LE(m, 2);
+  EXPECT_EQ(level.coarse.total_vertex_weight(), h.total_vertex_weight());
+}
+
+TEST(CoarsenScheme, FirstChoiceShrinksFasterThanMatching) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  Rng r1(7);
+  Rng r2(7);
+  CoarsenConfig fc;
+  fc.scheme = CoarsenScheme::kFirstChoice;
+  CoarsenConfig hem;
+  hem.scheme = CoarsenScheme::kHeavyEdgeMatching;
+  const auto a = coarsen_once(h, fc, {}, {}, r1);
+  const auto b = coarsen_once(h, hem, {}, {}, r2);
+  EXPECT_LT(a.coarse.num_vertices(), b.coarse.num_vertices());
+}
+
+TEST(CoarsenScheme, MlWorksWithMatchingCoarsening) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  MlConfig config;
+  config.coarsen.scheme = CoarsenScheme::kHeavyEdgeMatching;
+  MlPartitioner engine(config);
+  std::vector<PartId> parts;
+  Rng rng(8);
+  const Weight cut = engine.run(p, rng, parts);
+  EXPECT_EQ(check_solution(p, parts), "");
+  EXPECT_EQ(cut, compute_cut(h, parts));
+}
+
+TEST(MlInitialScheme, BfsAtCoarsestLevelWorks) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  MlConfig config;
+  config.initial_scheme = InitialScheme::kMixed;
+  MlPartitioner engine(config);
+  std::vector<PartId> parts;
+  Rng rng(9);
+  engine.run(p, rng, parts);
+  EXPECT_EQ(check_solution(p, parts), "");
+}
+
+TEST(BudgetedMultistart, RespectsBudgetAndRunsAtLeastOnce) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  FlatFmPartitioner engine{FmConfig{}};
+  // Tiny budget: exactly one start.
+  const MultistartResult one =
+      run_multistart_budgeted(p, engine, 0.0, 3);
+  EXPECT_EQ(one.starts.size(), 1u);
+  // Generous budget: several starts, total CPU only slightly above.
+  FlatFmPartitioner engine2{FmConfig{}};
+  const MultistartResult many =
+      run_multistart_budgeted(p, engine2, 0.05, 3);
+  EXPECT_GT(many.starts.size(), 1u);
+  EXPECT_EQ(check_solution(p, many.best_parts), "");
+}
+
+TEST(BudgetedMultistart, MaxStartsCap) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  FlatFmPartitioner engine{FmConfig{}};
+  const MultistartResult r =
+      run_multistart_budgeted(p, engine, 100.0, 3, /*max_starts=*/5);
+  EXPECT_EQ(r.starts.size(), 5u);
+}
+
+}  // namespace
+}  // namespace vlsipart

@@ -1,0 +1,174 @@
+// End-to-end integration tests across modules: generate -> write ->
+// read -> partition -> audit -> compare engines, plus brute-force
+// optimality cross-checks on exhaustively solvable instances.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "src/eval/objectives.h"
+#include "src/gen/netlist_gen.h"
+#include "src/io/hmetis_io.h"
+#include "src/io/partition_io.h"
+#include "src/part/core/multistart.h"
+#include "src/part/core/partitioner.h"
+#include "src/part/kway/recursive_bisection.h"
+#include "src/part/ml/ml_partitioner.h"
+
+namespace vlsipart {
+namespace {
+
+PartitionProblem make_problem(const Hypergraph& h, double tol) {
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), tol);
+  return p;
+}
+
+TEST(Integration, GenerateWriteReadPartitionRoundTrip) {
+  // The same instance must produce the same cut whether partitioned
+  // directly or after an .hgr round trip.
+  const Hypergraph original = generate_netlist(preset("small"));
+  std::ostringstream out;
+  write_hmetis(original, out);
+  std::istringstream in(out.str());
+  const Hypergraph reread = read_hmetis(in, "small");
+
+  const PartitionProblem p1 = make_problem(original, 0.1);
+  const PartitionProblem p2 = make_problem(reread, 0.1);
+  FlatFmPartitioner e1{FmConfig{}};
+  FlatFmPartitioner e2{FmConfig{}};
+  std::vector<PartId> parts1;
+  std::vector<PartId> parts2;
+  Rng r1(3);
+  Rng r2(3);
+  EXPECT_EQ(e1.run(p1, r1, parts1), e2.run(p2, r2, parts2));
+  EXPECT_EQ(parts1, parts2);
+}
+
+TEST(Integration, SolutionFileRoundTripPreservesCut) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  MlPartitioner engine(MlConfig{});
+  std::vector<PartId> parts;
+  Rng rng(5);
+  const Weight cut = engine.run(p, rng, parts);
+  std::ostringstream out;
+  write_partition(parts, out);
+  std::istringstream in(out.str());
+  const auto reread = read_partition(in);
+  EXPECT_EQ(reread, parts);
+  EXPECT_EQ(compute_cut(h, reread), cut);
+}
+
+/// Exhaustive optimal bisection cut for tiny instances (n <= 20).
+Weight brute_force_optimum(const Hypergraph& h,
+                           const BalanceConstraint& balance) {
+  const std::size_t n = h.num_vertices();
+  Weight best = std::numeric_limits<Weight>::max();
+  std::vector<PartId> parts(n);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Weight w0 = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      parts[v] = static_cast<PartId>((mask >> v) & 1u);
+      if (parts[v] == 0) w0 += h.vertex_weight(static_cast<VertexId>(v));
+    }
+    if (!balance.feasible(w0)) continue;
+    best = std::min(best, compute_cut(h, parts));
+  }
+  return best;
+}
+
+class BruteForceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForceSweep, MultistartMlFindsOptimumOnTinyInstances) {
+  // Property: on exhaustively solvable random instances, a 30-start ML
+  // multistart finds the true optimum (or at worst +1 net — these
+  // instances have huge plateaus, but in practice the optimum is hit).
+  const std::uint64_t seed = GetParam();
+  GenConfig config;
+  config.name = "brute";
+  config.num_cells = 14;
+  config.num_pads = 2;
+  config.num_nets = 24;
+  config.num_macros = 0;
+  config.num_huge_nets = 0;
+  config.seed = seed;
+  const Hypergraph h = generate_netlist(config);
+  const PartitionProblem p = make_problem(h, 0.3);
+
+  const Weight optimum = brute_force_optimum(h, p.balance);
+  ASSERT_LT(optimum, std::numeric_limits<Weight>::max());
+
+  MlPartitioner engine(MlConfig{});
+  const MultistartResult r = run_multistart(p, engine, 30, seed + 1);
+  EXPECT_EQ(r.best_cut, optimum) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTinyInstances, BruteForceSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(Integration, EngineStrengthOrderingOnIbmScaledInstance) {
+  // The paper's headline ordering, measured end to end: averages over a
+  // common multistart regime must satisfy ML <= flat (LIFO engines) and
+  // our-CLIP <= plain flat FM on a structured actual-area instance.
+  const Hypergraph h = generate_netlist(preset("ibm01").scaled(0.25));
+  const PartitionProblem p = make_problem(h, 0.02);
+  const std::size_t runs = 6;
+
+  FlatFmPartitioner flat_lifo{FmConfig{}};
+  FmConfig clip_cfg;
+  clip_cfg.clip = true;
+  clip_cfg.exclude_oversized = true;
+  FlatFmPartitioner flat_clip{clip_cfg};
+  MlConfig ml_cfg;
+  MlPartitioner ml_lifo(ml_cfg);
+
+  const double avg_flat =
+      run_multistart(p, flat_lifo, runs, 1).avg_cut();
+  const double avg_clip =
+      run_multistart(p, flat_clip, runs, 1).avg_cut();
+  const double avg_ml = run_multistart(p, ml_lifo, runs, 1).avg_cut();
+
+  EXPECT_LT(avg_clip, avg_flat);
+  EXPECT_LT(avg_ml, avg_flat);
+}
+
+TEST(Integration, ObjectivesConsistentAcrossEngines) {
+  // Any feasible solution's objectives must be internally consistent:
+  // absorption + "cut fraction" bookkeeping, SOED >= cut, etc.
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  MlPartitioner engine(MlConfig{});
+  std::vector<PartId> parts;
+  Rng rng(9);
+  engine.run(p, rng, parts);
+
+  const Weight cut = cut_size(h, parts);
+  EXPECT_GE(sum_of_external_degrees(h, parts), cut);
+  EXPECT_GT(ratio_cut(h, parts), 0.0);
+  EXPECT_GT(scaled_cost(h, parts), 0.0);
+  // Absorption of a partitioned netlist is below the fully absorbed
+  // total (#nets) by at least something for each cut net.
+  EXPECT_LT(absorption(h, parts), static_cast<double>(h.num_edges()));
+  EXPECT_GT(absorption(h, parts), 0.0);
+}
+
+TEST(Integration, KwayRefinesRecursiveStructure) {
+  // 4-way via recursive bisection, then verify that collapsing pairs of
+  // parts gives 2-way solutions whose cuts are consistent lower bounds:
+  // cut(2-way collapse) <= cut(4-way).
+  const Hypergraph h = generate_netlist(preset("small"));
+  KwayConfig config;
+  config.k = 4;
+  config.tolerance = 0.25;
+  const KwayResult r = recursive_bisection(h, config);
+  std::vector<PartId> collapsed(r.parts.size());
+  for (std::size_t v = 0; v < r.parts.size(); ++v) {
+    collapsed[v] = static_cast<PartId>(r.parts[v] / 2);
+  }
+  EXPECT_LE(compute_cut(h, collapsed), r.cut);
+}
+
+}  // namespace
+}  // namespace vlsipart

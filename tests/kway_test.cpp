@@ -1,0 +1,119 @@
+// Tests for k-way partitioning via recursive bisection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/gen/netlist_gen.h"
+#include "src/part/kway/recursive_bisection.h"
+
+namespace vlsipart {
+namespace {
+
+TEST(KwayCut, HandComputed) {
+  HypergraphBuilder b(6);
+  b.add_edge({0, 1});        // same part below
+  b.add_edge({1, 2, 3});     // spans parts 0 and 1
+  b.add_edge({4, 5}, 3);     // same part
+  b.add_edge({0, 5});        // spans parts 0 and 2
+  const Hypergraph h = b.finalize();
+  const std::vector<PartId> parts = {0, 0, 1, 1, 2, 2};
+  EXPECT_EQ(kway_cut(h, parts), 2);
+  const std::vector<PartId> one_part(6, 0);
+  EXPECT_EQ(kway_cut(h, one_part), 0);
+}
+
+TEST(KwayCut, MatchesTwoWayCutForK2) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  Rng rng(1);
+  std::vector<PartId> parts(h.num_vertices());
+  for (auto& p : parts) p = static_cast<PartId>(rng.below(2));
+  PartitionState s(h);
+  s.assign(parts);
+  EXPECT_EQ(kway_cut(h, parts), s.cut());
+}
+
+class KwaySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KwaySweep, ProducesValidKwayPartitions) {
+  const std::size_t k = GetParam();
+  const Hypergraph h = generate_netlist(preset("small"));
+  KwayConfig config;
+  config.k = k;
+  config.tolerance = 0.25;
+  config.seed = 3;
+  const KwayResult r = recursive_bisection(h, config);
+  ASSERT_EQ(r.parts.size(), h.num_vertices());
+  // Every part in range and populated.
+  std::set<PartId> used(r.parts.begin(), r.parts.end());
+  EXPECT_EQ(used.size(), k);
+  for (const PartId p : used) EXPECT_LT(p, k);
+  // Cut consistent.
+  EXPECT_EQ(r.cut, kway_cut(h, r.parts));
+  // Balance within the configured tolerance band.
+  EXPECT_EQ(check_kway(h, r.parts, k, config.tolerance), "");
+  // Part weights sum to total.
+  Weight sum = 0;
+  for (const Weight w : r.part_weights) sum += w;
+  EXPECT_EQ(sum, h.total_vertex_weight());
+  // k-1 bisections for a full decomposition.
+  EXPECT_EQ(r.bisections, k - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOddK, KwaySweep,
+                         ::testing::Values(2, 3, 4, 5, 7, 8));
+
+TEST(Kway, MoreCutWithMoreParts) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  Weight prev = 0;
+  for (const std::size_t k : {2, 4, 8}) {
+    KwayConfig config;
+    config.k = k;
+    config.tolerance = 0.25;
+    const KwayResult r = recursive_bisection(h, config);
+    EXPECT_GE(r.cut, prev);
+    prev = r.cut;
+  }
+}
+
+TEST(Kway, FlatEngineWorksToo) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  KwayConfig config;
+  config.k = 4;
+  config.tolerance = 0.4;
+  config.use_ml = false;
+  const KwayResult r = recursive_bisection(h, config);
+  EXPECT_EQ(check_kway(h, r.parts, 4, config.tolerance), "");
+}
+
+TEST(Kway, DeterministicForSeed) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  KwayConfig config;
+  config.k = 4;
+  config.tolerance = 0.4;
+  config.seed = 9;
+  const KwayResult a = recursive_bisection(h, config);
+  const KwayResult b = recursive_bisection(h, config);
+  EXPECT_EQ(a.parts, b.parts);
+  EXPECT_EQ(a.cut, b.cut);
+}
+
+TEST(Kway, RejectsBadK) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  KwayConfig config;
+  config.k = 1;
+  EXPECT_THROW(recursive_bisection(h, config), std::logic_error);
+  config.k = 200;
+  EXPECT_THROW(recursive_bisection(h, config), std::logic_error);
+}
+
+TEST(CheckKway, DetectsViolations) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  std::vector<PartId> parts(h.num_vertices(), 0);
+  // All in one part of k=2: grossly unbalanced.
+  EXPECT_NE(check_kway(h, parts, 2, 0.1), "");
+  parts[0] = 5;
+  EXPECT_NE(check_kway(h, parts, 2, 0.1), "");
+}
+
+}  // namespace
+}  // namespace vlsipart

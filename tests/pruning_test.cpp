@@ -1,0 +1,103 @@
+// Tests for start pruning in the multistart harness (Sec. 3.2).
+#include <gtest/gtest.h>
+
+#include "src/gen/netlist_gen.h"
+#include "src/part/core/multistart.h"
+
+namespace vlsipart {
+namespace {
+
+PartitionProblem make_problem(const Hypergraph& h, double tol) {
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), tol);
+  return p;
+}
+
+TEST(Pruning, PrunesSomeStartsWithTightFactor) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  PruneConfig prune;
+  prune.factor = 1.0;  // anything worse than the best pass-1 cut dies
+  const PrunedMultistartResult r =
+      run_multistart_pruned(p, FmConfig{}, 20, 5, prune);
+  EXPECT_GT(r.pruned_starts, 0u);
+  EXPECT_LT(r.pruned_starts, 20u);
+  EXPECT_EQ(r.result.starts.size(), 20u);
+  EXPECT_GT(r.pruned_cpu_seconds, 0.0);
+}
+
+TEST(Pruning, LooseFactorPrunesNothing) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  PruneConfig prune;
+  prune.factor = 1000.0;
+  const PrunedMultistartResult r =
+      run_multistart_pruned(p, FmConfig{}, 10, 5, prune);
+  EXPECT_EQ(r.pruned_starts, 0u);
+}
+
+TEST(Pruning, BestSolutionStaysFeasibleAndConsistent) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.02);
+  PruneConfig prune;
+  prune.factor = 1.05;
+  const PrunedMultistartResult r =
+      run_multistart_pruned(p, FmConfig{}, 15, 7, prune);
+  ASSERT_FALSE(r.result.best_parts.empty());
+  EXPECT_EQ(check_solution(p, r.result.best_parts), "");
+  EXPECT_EQ(compute_cut(h, r.result.best_parts), r.result.best_cut);
+}
+
+TEST(Pruning, QualityCloseToUnprunedAtLowerCost) {
+  // The point of pruning: nearly the unpruned best cut for less CPU.
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+
+  FlatFmPartitioner plain_engine{FmConfig{}};
+  const MultistartResult plain = run_multistart(p, plain_engine, 20, 11);
+
+  PruneConfig prune;
+  prune.factor = 1.10;
+  const PrunedMultistartResult pruned =
+      run_multistart_pruned(p, FmConfig{}, 20, 11, prune);
+
+  // Same seeds, same pass-1 trajectories: the pruned best can be at most
+  // slightly worse (only starts with bad first passes were discarded).
+  EXPECT_LE(static_cast<double>(pruned.result.best_cut),
+            1.5 * static_cast<double>(plain.best_cut));
+  if (pruned.pruned_starts > 0) {
+    EXPECT_LT(pruned.result.total_cpu_seconds,
+              plain.total_cpu_seconds * 1.05);
+  }
+}
+
+TEST(Pruning, DeterministicForSeed) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  PruneConfig prune;
+  prune.factor = 1.1;
+  const PrunedMultistartResult a =
+      run_multistart_pruned(p, FmConfig{}, 10, 13, prune);
+  const PrunedMultistartResult b =
+      run_multistart_pruned(p, FmConfig{}, 10, 13, prune);
+  EXPECT_EQ(a.pruned_starts, b.pruned_starts);
+  EXPECT_EQ(a.result.best_cut, b.result.best_cut);
+  EXPECT_EQ(a.result.best_parts, b.result.best_parts);
+}
+
+TEST(Pruning, PrunedStartsNeverWinBest) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  PruneConfig prune;
+  prune.factor = 1.0;
+  const PrunedMultistartResult r =
+      run_multistart_pruned(p, FmConfig{}, 20, 17, prune);
+  for (const auto& s : r.result.starts) {
+    if (!s.feasible) continue;  // pruned records are marked infeasible
+    EXPECT_GE(s.cut, r.result.best_cut);
+  }
+}
+
+}  // namespace
+}  // namespace vlsipart

@@ -1,0 +1,235 @@
+// Robustness sweep: degenerate and adversarial instances through every
+// engine, always audited.  These are the inputs where silent
+// implementation bugs (the paper's central worry) tend to live: tiny
+// graphs, star hubs, chains, parallel nets, all-fixed problems,
+// impossible balances.
+#include <gtest/gtest.h>
+
+#include "src/gen/netlist_gen.h"
+#include "src/hypergraph/contraction.h"
+#include "src/part/core/multistart.h"
+#include "src/part/core/partitioner.h"
+#include "src/part/kway/recursive_bisection.h"
+#include "src/part/ml/ml_partitioner.h"
+
+namespace vlsipart {
+namespace {
+
+PartitionProblem make_problem(const Hypergraph& h, double tol) {
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), tol);
+  return p;
+}
+
+void run_all_engines(const Hypergraph& h, double tol) {
+  const PartitionProblem p = make_problem(h, tol);
+  std::vector<PartId> parts;
+
+  FlatFmPartitioner flat{FmConfig{}};
+  Rng r1(1);
+  const Weight c1 = flat.run(p, r1, parts);
+  EXPECT_EQ(c1, compute_cut(h, parts));
+
+  FmConfig clip_cfg;
+  clip_cfg.clip = true;
+  clip_cfg.exclude_oversized = true;
+  FlatFmPartitioner clip{clip_cfg};
+  Rng r2(1);
+  const Weight c2 = clip.run(p, r2, parts);
+  EXPECT_EQ(c2, compute_cut(h, parts));
+
+  MlPartitioner ml(MlConfig{});
+  Rng r3(1);
+  const Weight c3 = ml.run(p, r3, parts);
+  EXPECT_EQ(c3, compute_cut(h, parts));
+}
+
+TEST(Robustness, TwoVertexGraph) {
+  HypergraphBuilder b(2);
+  b.add_edge({0, 1});
+  const Hypergraph h = b.finalize();
+  run_all_engines(h, 0.5);
+}
+
+TEST(Robustness, StarHub) {
+  // One hub on every net: the hub's gain structure is maximally
+  // coupled; moving it touches everything.
+  HypergraphBuilder b(50);
+  for (VertexId i = 1; i < 50; ++i) {
+    b.add_edge({0, i});
+  }
+  const Hypergraph h = b.finalize();
+  run_all_engines(h, 0.2);
+  // Any balanced bipartition cuts at least the spokes on the smaller
+  // side: optimal cut is ~half the spokes.
+  const PartitionProblem p = make_problem(h, 0.2);
+  FlatFmPartitioner flat{FmConfig{}};
+  const MultistartResult r = run_multistart(p, flat, 10, 1);
+  EXPECT_GE(r.min_cut(), 49 / 2 - 5);
+}
+
+TEST(Robustness, LongChain) {
+  // Path graph: optimal bisection cut is exactly 1.
+  constexpr std::size_t kN = 64;
+  HypergraphBuilder b(kN);
+  for (VertexId i = 0; i + 1 < kN; ++i) {
+    b.add_edge({i, static_cast<VertexId>(i + 1)});
+  }
+  const Hypergraph h = b.finalize();
+  const PartitionProblem p = make_problem(h, 0.1);
+  MlPartitioner ml(MlConfig{});
+  const MultistartResult r = run_multistart(p, ml, 10, 1);
+  EXPECT_EQ(r.min_cut(), 1);
+}
+
+TEST(Robustness, ManyParallelNets) {
+  // The same 2-pin net repeated 100 times plus filler: gain magnitudes
+  // hit the weighted-degree bound (container sizing stress).
+  HypergraphBuilder b(20);
+  for (int i = 0; i < 100; ++i) {
+    b.add_edge({0, 1});
+  }
+  for (VertexId i = 2; i + 1 < 20; ++i) {
+    b.add_edge({i, static_cast<VertexId>(i + 1)});
+  }
+  const Hypergraph h = b.finalize();
+  run_all_engines(h, 0.3);
+  // 0 and 1 must end on the same side (any start, the 100-net bundle
+  // dominates).
+  const PartitionProblem p = make_problem(h, 0.3);
+  FlatFmPartitioner flat{FmConfig{}};
+  std::vector<PartId> parts;
+  Rng rng(3);
+  flat.run(p, rng, parts);
+  EXPECT_EQ(parts[0], parts[1]);
+}
+
+TEST(Robustness, OneGiantNet) {
+  // A single net covering every vertex plus pairwise structure: the
+  // giant net is always cut; engines must not thrash on it.
+  HypergraphBuilder b(40);
+  {
+    std::vector<VertexId> all(40);
+    for (VertexId i = 0; i < 40; ++i) all[i] = i;
+    b.add_edge(all);
+  }
+  for (VertexId i = 0; i + 1 < 40; i += 2) {
+    b.add_edge({i, static_cast<VertexId>(i + 1)});
+  }
+  const Hypergraph h = b.finalize();
+  run_all_engines(h, 0.2);
+}
+
+TEST(Robustness, AllVerticesFixed) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  PartitionProblem p = make_problem(h, 0.9);
+  p.fixed.resize(h.num_vertices());
+  Rng seed_rng(5);
+  for (auto& f : p.fixed) f = static_cast<PartId>(seed_rng.below(2));
+  FlatFmPartitioner flat{FmConfig{}};
+  std::vector<PartId> parts;
+  Rng rng(1);
+  flat.run(p, rng, parts);
+  EXPECT_EQ(parts, p.fixed);  // nothing may move
+}
+
+TEST(Robustness, HeavyweightVertexDominates) {
+  // One vertex holds 90% of the weight: no balanced bisection exists at
+  // tight tolerance; engines must terminate and report infeasibility
+  // honestly rather than loop.
+  HypergraphBuilder b(10);
+  b.set_vertex_weight(0, 900);
+  for (VertexId i = 1; i < 10; ++i) {
+    b.add_edge({0, i});
+  }
+  const Hypergraph h = b.finalize();
+  const PartitionProblem p = make_problem(h, 0.02);
+  FlatFmPartitioner flat{FmConfig{}};
+  const MultistartResult r = run_multistart(p, flat, 5, 1);
+  for (const auto& s : r.starts) {
+    EXPECT_FALSE(s.feasible);  // no feasible solution exists
+  }
+}
+
+TEST(Robustness, DisconnectedIslands) {
+  // Two disjoint cliques: optimal cut 0.  Tolerance must leave a
+  // nonzero window: at exact bisection with unit weights no *single* FM
+  // move is legal (pass-based engines need the alternating pair-move
+  // discipline there), so the window-zero case cannot improve at all —
+  // see Balance.ExactBisectionWithOddTotal for the constraint itself.
+  HypergraphBuilder b(16);
+  for (VertexId i = 0; i < 8; ++i) {
+    for (VertexId j = i + 1; j < 8; ++j) {
+      b.add_edge({i, j});
+      b.add_edge({static_cast<VertexId>(8 + i), static_cast<VertexId>(8 + j)});
+    }
+  }
+  const Hypergraph h = b.finalize();
+  const PartitionProblem p = make_problem(h, 0.3);
+  MlPartitioner ml(MlConfig{});
+  const MultistartResult r = run_multistart(p, ml, 10, 1);
+  EXPECT_EQ(r.min_cut(), 0);
+
+  // And the zero-window case is a no-op, not a hang: the engine
+  // terminates with the initial solution intact.
+  const PartitionProblem exact = make_problem(h, 0.0);
+  FlatFmPartitioner flat{FmConfig{}};
+  std::vector<PartId> parts;
+  Rng rng(2);
+  flat.run(exact, rng, parts);
+  EXPECT_EQ(check_solution(exact, parts), "");
+}
+
+class RandomGraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphFuzz, EnginesSurviveArbitraryTopology) {
+  // Uniformly random (non-generator) hypergraphs: arbitrary net sizes,
+  // arbitrary weights, no locality structure at all.
+  Rng rng(GetParam());
+  const std::size_t n = 10 + rng.below(120);
+  HypergraphBuilder b(n);
+  const std::size_t m = 5 + rng.below(3 * n);
+  std::vector<VertexId> pins;
+  for (std::size_t e = 0; e < m; ++e) {
+    const std::size_t size = 2 + rng.below(std::min<std::size_t>(n, 9));
+    pins.clear();
+    for (std::size_t k = 0; k < size; ++k) {
+      pins.push_back(static_cast<VertexId>(rng.below(n)));
+    }
+    b.add_edge(pins, 1 + static_cast<Weight>(rng.below(4)));
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    b.set_vertex_weight(static_cast<VertexId>(v),
+                        1 + static_cast<Weight>(rng.below(20)));
+  }
+  const Hypergraph h = b.finalize("fuzz");
+  h.validate();
+  run_all_engines(h, 0.3);
+
+  // k-way too, when big enough.
+  if (n >= 20) {
+    KwayConfig config;
+    config.k = 4;
+    config.tolerance = 0.6;
+    config.seed = GetParam();
+    const KwayResult r = recursive_bisection(h, config);
+    EXPECT_EQ(r.cut, kway_cut(h, r.parts));
+  }
+
+  // Contraction round trip preserves weight.
+  Rng crng(GetParam() ^ 0xC0A3ULL);
+  std::vector<VertexId> clusters(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    clusters[v] = static_cast<VertexId>(crng.below((n + 1) / 2));
+  }
+  const ContractionResult c = contract(h, clusters);
+  EXPECT_EQ(c.coarse.total_vertex_weight(), h.total_vertex_weight());
+  c.coarse.validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace vlsipart
