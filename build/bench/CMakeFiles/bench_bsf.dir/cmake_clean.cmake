@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bsf.dir/bench_bsf.cpp.o"
+  "CMakeFiles/bench_bsf.dir/bench_bsf.cpp.o.d"
+  "bench_bsf"
+  "bench_bsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corking.dir/bench_corking.cpp.o"
+  "CMakeFiles/bench_corking.dir/bench_corking.cpp.o.d"
+  "bench_corking"
+  "bench_corking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixed.dir/bench_fixed.cpp.o"
+  "CMakeFiles/bench_fixed.dir/bench_fixed.cpp.o.d"
+  "bench_fixed"
+  "bench_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

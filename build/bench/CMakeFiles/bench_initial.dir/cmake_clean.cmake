@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_initial.dir/bench_initial.cpp.o"
+  "CMakeFiles/bench_initial.dir/bench_initial.cpp.o.d"
+  "bench_initial"
+  "bench_initial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_initial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

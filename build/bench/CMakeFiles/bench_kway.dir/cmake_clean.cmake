@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kway.dir/bench_kway.cpp.o"
+  "CMakeFiles/bench_kway.dir/bench_kway.cpp.o.d"
+  "bench_kway"
+  "bench_kway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

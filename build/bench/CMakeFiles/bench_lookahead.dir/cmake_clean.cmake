@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lookahead.dir/bench_lookahead.cpp.o"
+  "CMakeFiles/bench_lookahead.dir/bench_lookahead.cpp.o.d"
+  "bench_lookahead"
+  "bench_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsf_ranking.dir/bsf_ranking.cpp.o"
+  "CMakeFiles/bsf_ranking.dir/bsf_ranking.cpp.o.d"
+  "bsf_ranking"
+  "bsf_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsf_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bsf_ranking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_study.dir/methodology_study.cpp.o"
+  "CMakeFiles/methodology_study.dir/methodology_study.cpp.o.d"
+  "methodology_study"
+  "methodology_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_profile.dir/pass_profile.cpp.o"
+  "CMakeFiles/pass_profile.dir/pass_profile.cpp.o.d"
+  "pass_profile"
+  "pass_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

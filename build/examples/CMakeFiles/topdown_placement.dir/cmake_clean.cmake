@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topdown_placement.dir/topdown_placement.cpp.o"
+  "CMakeFiles/topdown_placement.dir/topdown_placement.cpp.o.d"
+  "topdown_placement"
+  "topdown_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topdown_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

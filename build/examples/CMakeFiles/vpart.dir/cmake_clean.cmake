@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart.dir/vpart.cpp.o"
+  "CMakeFiles/vpart.dir/vpart.cpp.o.d"
+  "vpart"
+  "vpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/bsf.cpp" "src/eval/CMakeFiles/vp_eval.dir/bsf.cpp.o" "gcc" "src/eval/CMakeFiles/vp_eval.dir/bsf.cpp.o.d"
+  "/root/repo/src/eval/objectives.cpp" "src/eval/CMakeFiles/vp_eval.dir/objectives.cpp.o" "gcc" "src/eval/CMakeFiles/vp_eval.dir/objectives.cpp.o.d"
+  "/root/repo/src/eval/pareto.cpp" "src/eval/CMakeFiles/vp_eval.dir/pareto.cpp.o" "gcc" "src/eval/CMakeFiles/vp_eval.dir/pareto.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/vp_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/vp_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/significance.cpp" "src/eval/CMakeFiles/vp_eval.dir/significance.cpp.o" "gcc" "src/eval/CMakeFiles/vp_eval.dir/significance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/part/CMakeFiles/vp_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/vp_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_eval.dir/bsf.cpp.o"
+  "CMakeFiles/vp_eval.dir/bsf.cpp.o.d"
+  "CMakeFiles/vp_eval.dir/objectives.cpp.o"
+  "CMakeFiles/vp_eval.dir/objectives.cpp.o.d"
+  "CMakeFiles/vp_eval.dir/pareto.cpp.o"
+  "CMakeFiles/vp_eval.dir/pareto.cpp.o.d"
+  "CMakeFiles/vp_eval.dir/report.cpp.o"
+  "CMakeFiles/vp_eval.dir/report.cpp.o.d"
+  "CMakeFiles/vp_eval.dir/significance.cpp.o"
+  "CMakeFiles/vp_eval.dir/significance.cpp.o.d"
+  "libvp_eval.a"
+  "libvp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_flows.dir/quadrisection.cpp.o"
+  "CMakeFiles/vp_flows.dir/quadrisection.cpp.o.d"
+  "CMakeFiles/vp_flows.dir/topdown_place.cpp.o"
+  "CMakeFiles/vp_flows.dir/topdown_place.cpp.o.d"
+  "libvp_flows.a"
+  "libvp_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

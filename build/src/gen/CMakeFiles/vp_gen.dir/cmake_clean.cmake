@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_gen.dir/netlist_gen.cpp.o"
+  "CMakeFiles/vp_gen.dir/netlist_gen.cpp.o.d"
+  "libvp_gen.a"
+  "libvp_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypergraph/contraction.cpp" "src/hypergraph/CMakeFiles/vp_hypergraph.dir/contraction.cpp.o" "gcc" "src/hypergraph/CMakeFiles/vp_hypergraph.dir/contraction.cpp.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cpp" "src/hypergraph/CMakeFiles/vp_hypergraph.dir/hypergraph.cpp.o" "gcc" "src/hypergraph/CMakeFiles/vp_hypergraph.dir/hypergraph.cpp.o.d"
+  "/root/repo/src/hypergraph/stats.cpp" "src/hypergraph/CMakeFiles/vp_hypergraph.dir/stats.cpp.o" "gcc" "src/hypergraph/CMakeFiles/vp_hypergraph.dir/stats.cpp.o.d"
+  "/root/repo/src/hypergraph/subgraph.cpp" "src/hypergraph/CMakeFiles/vp_hypergraph.dir/subgraph.cpp.o" "gcc" "src/hypergraph/CMakeFiles/vp_hypergraph.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_hypergraph.dir/contraction.cpp.o"
+  "CMakeFiles/vp_hypergraph.dir/contraction.cpp.o.d"
+  "CMakeFiles/vp_hypergraph.dir/hypergraph.cpp.o"
+  "CMakeFiles/vp_hypergraph.dir/hypergraph.cpp.o.d"
+  "CMakeFiles/vp_hypergraph.dir/stats.cpp.o"
+  "CMakeFiles/vp_hypergraph.dir/stats.cpp.o.d"
+  "CMakeFiles/vp_hypergraph.dir/subgraph.cpp.o"
+  "CMakeFiles/vp_hypergraph.dir/subgraph.cpp.o.d"
+  "libvp_hypergraph.a"
+  "libvp_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

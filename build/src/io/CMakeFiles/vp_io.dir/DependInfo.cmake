@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/hmetis_io.cpp" "src/io/CMakeFiles/vp_io.dir/hmetis_io.cpp.o" "gcc" "src/io/CMakeFiles/vp_io.dir/hmetis_io.cpp.o.d"
+  "/root/repo/src/io/ispd98_io.cpp" "src/io/CMakeFiles/vp_io.dir/ispd98_io.cpp.o" "gcc" "src/io/CMakeFiles/vp_io.dir/ispd98_io.cpp.o.d"
+  "/root/repo/src/io/partition_io.cpp" "src/io/CMakeFiles/vp_io.dir/partition_io.cpp.o" "gcc" "src/io/CMakeFiles/vp_io.dir/partition_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypergraph/CMakeFiles/vp_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_io.dir/hmetis_io.cpp.o"
+  "CMakeFiles/vp_io.dir/hmetis_io.cpp.o.d"
+  "CMakeFiles/vp_io.dir/ispd98_io.cpp.o"
+  "CMakeFiles/vp_io.dir/ispd98_io.cpp.o.d"
+  "CMakeFiles/vp_io.dir/partition_io.cpp.o"
+  "CMakeFiles/vp_io.dir/partition_io.cpp.o.d"
+  "libvp_io.a"
+  "libvp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/part/core/balance.cpp" "src/part/CMakeFiles/vp_fm.dir/core/balance.cpp.o" "gcc" "src/part/CMakeFiles/vp_fm.dir/core/balance.cpp.o.d"
+  "/root/repo/src/part/core/fm_config.cpp" "src/part/CMakeFiles/vp_fm.dir/core/fm_config.cpp.o" "gcc" "src/part/CMakeFiles/vp_fm.dir/core/fm_config.cpp.o.d"
+  "/root/repo/src/part/core/fm_refiner.cpp" "src/part/CMakeFiles/vp_fm.dir/core/fm_refiner.cpp.o" "gcc" "src/part/CMakeFiles/vp_fm.dir/core/fm_refiner.cpp.o.d"
+  "/root/repo/src/part/core/gain_container.cpp" "src/part/CMakeFiles/vp_fm.dir/core/gain_container.cpp.o" "gcc" "src/part/CMakeFiles/vp_fm.dir/core/gain_container.cpp.o.d"
+  "/root/repo/src/part/core/initial.cpp" "src/part/CMakeFiles/vp_fm.dir/core/initial.cpp.o" "gcc" "src/part/CMakeFiles/vp_fm.dir/core/initial.cpp.o.d"
+  "/root/repo/src/part/core/multistart.cpp" "src/part/CMakeFiles/vp_fm.dir/core/multistart.cpp.o" "gcc" "src/part/CMakeFiles/vp_fm.dir/core/multistart.cpp.o.d"
+  "/root/repo/src/part/core/partition_state.cpp" "src/part/CMakeFiles/vp_fm.dir/core/partition_state.cpp.o" "gcc" "src/part/CMakeFiles/vp_fm.dir/core/partition_state.cpp.o.d"
+  "/root/repo/src/part/core/partitioner.cpp" "src/part/CMakeFiles/vp_fm.dir/core/partitioner.cpp.o" "gcc" "src/part/CMakeFiles/vp_fm.dir/core/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypergraph/CMakeFiles/vp_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_fm.dir/core/balance.cpp.o"
+  "CMakeFiles/vp_fm.dir/core/balance.cpp.o.d"
+  "CMakeFiles/vp_fm.dir/core/fm_config.cpp.o"
+  "CMakeFiles/vp_fm.dir/core/fm_config.cpp.o.d"
+  "CMakeFiles/vp_fm.dir/core/fm_refiner.cpp.o"
+  "CMakeFiles/vp_fm.dir/core/fm_refiner.cpp.o.d"
+  "CMakeFiles/vp_fm.dir/core/gain_container.cpp.o"
+  "CMakeFiles/vp_fm.dir/core/gain_container.cpp.o.d"
+  "CMakeFiles/vp_fm.dir/core/initial.cpp.o"
+  "CMakeFiles/vp_fm.dir/core/initial.cpp.o.d"
+  "CMakeFiles/vp_fm.dir/core/multistart.cpp.o"
+  "CMakeFiles/vp_fm.dir/core/multistart.cpp.o.d"
+  "CMakeFiles/vp_fm.dir/core/partition_state.cpp.o"
+  "CMakeFiles/vp_fm.dir/core/partition_state.cpp.o.d"
+  "CMakeFiles/vp_fm.dir/core/partitioner.cpp.o"
+  "CMakeFiles/vp_fm.dir/core/partitioner.cpp.o.d"
+  "libvp_fm.a"
+  "libvp_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

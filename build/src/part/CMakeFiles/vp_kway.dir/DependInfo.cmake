@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/part/kway/kway_refiner.cpp" "src/part/CMakeFiles/vp_kway.dir/kway/kway_refiner.cpp.o" "gcc" "src/part/CMakeFiles/vp_kway.dir/kway/kway_refiner.cpp.o.d"
+  "/root/repo/src/part/kway/kway_state.cpp" "src/part/CMakeFiles/vp_kway.dir/kway/kway_state.cpp.o" "gcc" "src/part/CMakeFiles/vp_kway.dir/kway/kway_state.cpp.o.d"
+  "/root/repo/src/part/kway/recursive_bisection.cpp" "src/part/CMakeFiles/vp_kway.dir/kway/recursive_bisection.cpp.o" "gcc" "src/part/CMakeFiles/vp_kway.dir/kway/recursive_bisection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/part/CMakeFiles/vp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/part/CMakeFiles/vp_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/vp_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

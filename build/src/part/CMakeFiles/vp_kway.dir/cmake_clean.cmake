@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_kway.dir/kway/kway_refiner.cpp.o"
+  "CMakeFiles/vp_kway.dir/kway/kway_refiner.cpp.o.d"
+  "CMakeFiles/vp_kway.dir/kway/kway_state.cpp.o"
+  "CMakeFiles/vp_kway.dir/kway/kway_state.cpp.o.d"
+  "CMakeFiles/vp_kway.dir/kway/recursive_bisection.cpp.o"
+  "CMakeFiles/vp_kway.dir/kway/recursive_bisection.cpp.o.d"
+  "libvp_kway.a"
+  "libvp_kway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_kway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

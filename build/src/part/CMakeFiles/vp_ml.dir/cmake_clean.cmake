@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_ml.dir/ml/coarsen.cpp.o"
+  "CMakeFiles/vp_ml.dir/ml/coarsen.cpp.o.d"
+  "CMakeFiles/vp_ml.dir/ml/ml_partitioner.cpp.o"
+  "CMakeFiles/vp_ml.dir/ml/ml_partitioner.cpp.o.d"
+  "libvp_ml.a"
+  "libvp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_util.dir/cli.cpp.o"
+  "CMakeFiles/vp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/vp_util.dir/logging.cpp.o"
+  "CMakeFiles/vp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/vp_util.dir/rng.cpp.o"
+  "CMakeFiles/vp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vp_util.dir/stats.cpp.o"
+  "CMakeFiles/vp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vp_util.dir/table.cpp.o"
+  "CMakeFiles/vp_util.dir/table.cpp.o.d"
+  "CMakeFiles/vp_util.dir/timer.cpp.o"
+  "CMakeFiles/vp_util.dir/timer.cpp.o.d"
+  "libvp_util.a"
+  "libvp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_refiner_test.dir/fm_refiner_test.cpp.o"
+  "CMakeFiles/fm_refiner_test.dir/fm_refiner_test.cpp.o.d"
+  "fm_refiner_test"
+  "fm_refiner_test.pdb"
+  "fm_refiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_refiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

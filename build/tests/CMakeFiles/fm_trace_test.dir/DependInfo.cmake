@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fm_trace_test.cpp" "tests/CMakeFiles/fm_trace_test.dir/fm_trace_test.cpp.o" "gcc" "tests/CMakeFiles/fm_trace_test.dir/fm_trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flows/CMakeFiles/vp_flows.dir/DependInfo.cmake"
+  "/root/repo/build/src/part/CMakeFiles/vp_kway.dir/DependInfo.cmake"
+  "/root/repo/build/src/part/CMakeFiles/vp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/vp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/part/CMakeFiles/vp_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/vp_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/vp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/vp_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

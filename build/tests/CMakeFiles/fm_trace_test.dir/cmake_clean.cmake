@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_trace_test.dir/fm_trace_test.cpp.o"
+  "CMakeFiles/fm_trace_test.dir/fm_trace_test.cpp.o.d"
+  "fm_trace_test"
+  "fm_trace_test.pdb"
+  "fm_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

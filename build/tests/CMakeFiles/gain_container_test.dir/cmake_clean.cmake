@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gain_container_test.dir/gain_container_test.cpp.o"
+  "CMakeFiles/gain_container_test.dir/gain_container_test.cpp.o.d"
+  "gain_container_test"
+  "gain_container_test.pdb"
+  "gain_container_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gain_container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

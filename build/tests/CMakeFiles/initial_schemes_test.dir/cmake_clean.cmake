@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initial_schemes_test.dir/initial_schemes_test.cpp.o"
+  "CMakeFiles/initial_schemes_test.dir/initial_schemes_test.cpp.o.d"
+  "initial_schemes_test"
+  "initial_schemes_test.pdb"
+  "initial_schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initial_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookahead_test.dir/lookahead_test.cpp.o"
+  "CMakeFiles/lookahead_test.dir/lookahead_test.cpp.o.d"
+  "lookahead_test"
+  "lookahead_test.pdb"
+  "lookahead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadrisection_test.dir/quadrisection_test.cpp.o"
+  "CMakeFiles/quadrisection_test.dir/quadrisection_test.cpp.o.d"
+  "quadrisection_test"
+  "quadrisection_test.pdb"
+  "quadrisection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadrisection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hypergraph_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_state_test[1]_include.cmake")
+include("/root/repo/build/tests/gain_container_test[1]_include.cmake")
+include("/root/repo/build/tests/fm_refiner_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/multistart_test[1]_include.cmake")
+include("/root/repo/build/tests/flows_test[1]_include.cmake")
+include("/root/repo/build/tests/significance_test[1]_include.cmake")
+include("/root/repo/build/tests/kway_test[1]_include.cmake")
+include("/root/repo/build/tests/pruning_test[1]_include.cmake")
+include("/root/repo/build/tests/lookahead_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/kway_refiner_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/subgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/quadrisection_test[1]_include.cmake")
+include("/root/repo/build/tests/initial_schemes_test[1]_include.cmake")
+include("/root/repo/build/tests/fm_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
