@@ -39,10 +39,10 @@ int main(int argc, char** argv) {
       MultistartResult r;
       if (e.ml) {
         MlPartitioner engine(ml_config(e.cfg));
-        r = run_multistart(problem, engine, opt.runs, opt.seed);
+        r = run_multistart(problem, engine, opt.runs, opt.seed, opt.threads);
       } else {
         FlatFmPartitioner engine(e.cfg);
-        r = run_multistart(problem, engine, opt.runs, opt.seed);
+        r = run_multistart(problem, engine, opt.runs, opt.seed, opt.threads);
       }
       const Sample cuts = r.cut_sample();
       const auto curve = expected_bsf_curve(
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
                        fmt_fixed(pt.expected_cost, 1)});
       }
     }
-    emit(table, opt.csv, "BSF data (plot tau vs E[best cut] per engine)");
+    emit(table, opt, "BSF data (plot tau vs E[best cut] per engine)");
   }
   return 0;
 }

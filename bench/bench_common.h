@@ -7,8 +7,14 @@
 //                             ISPD98 sizes; defaults < 1 keep default bench
 //                             runs to a few minutes)
 //   --seed S                  base RNG seed
+//   --threads T               worker threads for multistart harnesses
+//                             (default 1 = serial; results are bit-identical
+//                             at any T, see DESIGN.md "Threading model")
 //   --full                    paper-faithful sizes and run counts
 //   --csv                     emit CSV instead of aligned text
+//   --json PATH               also append every emitted table to PATH as
+//                             JSON lines (per-row metrics + wall/CPU seconds
+//                             + thread count), for cross-PR perf tracking
 //
 // The "Reported ..." configurations of Tables 2 and 3 model a weak
 // independent implementation (Alpert [2]) as the same engine with the
@@ -19,6 +25,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/gen/netlist_gen.h"
@@ -29,6 +36,7 @@
 #include "src/part/ml/ml_partitioner.h"
 #include "src/util/cli.h"
 #include "src/util/table.h"
+#include "src/util/timer.h"
 
 namespace vlsipart::bench {
 
@@ -37,14 +45,25 @@ struct BenchOptions {
   std::size_t runs = 10;
   double scale = 0.5;
   std::uint64_t seed = 1;
+  std::size_t threads = 1;
   bool csv = false;
   bool full = false;
+  std::string json;  // empty = no JSON output
 };
+
+/// Wall/CPU consumed by this bench process so far.  The baseline is set
+/// at the first call; parse_options primes it at startup.
+inline std::pair<double, double> bench_elapsed() {
+  static const WallTimer wall;
+  static const double cpu0 = process_cpu_seconds();
+  return {wall.elapsed(), process_cpu_seconds() - cpu0};
+}
 
 inline BenchOptions parse_options(int argc, char** argv,
                                   const std::string& default_cases,
                                   std::size_t default_runs,
                                   double default_scale) {
+  bench_elapsed();  // start the process-wide wall/CPU baseline
   const CliArgs args(argc, argv);
   BenchOptions opt;
   opt.full = args.get_bool("full");
@@ -53,7 +72,9 @@ inline BenchOptions parse_options(int argc, char** argv,
       "runs", opt.full ? 100 : static_cast<std::int64_t>(default_runs)));
   opt.scale = args.get_double("scale", opt.full ? 1.0 : default_scale);
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opt.threads = static_cast<std::size_t>(args.get_int("threads", 1));
   opt.csv = args.get_bool("csv");
+  opt.json = args.get("json", "");
   return opt;
 }
 
@@ -117,6 +138,64 @@ inline void emit(const TextTable& table, bool csv, const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("%s\n", (csv ? table.to_csv() : table.to_string()).c_str());
   std::fflush(stdout);
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Append one JSON-lines object per table to `path`: title, thread count,
+/// process wall/CPU seconds at emission time, and every row keyed by its
+/// column header.  One line per emit keeps the file trivially appendable
+/// and diffable across PRs.
+inline void emit_json(const TextTable& table, const BenchOptions& opt,
+                      const std::string& title) {
+  if (opt.json.empty()) return;
+  std::FILE* f = std::fopen(opt.json.c_str(), "a");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot open --json file %s\n",
+                 opt.json.c_str());
+    return;
+  }
+  const auto [wall, cpu] = bench_elapsed();
+  std::fprintf(f,
+               "{\"title\":\"%s\",\"threads\":%zu,\"seed\":%llu,"
+               "\"scale\":%.4f,\"wall_seconds\":%.6f,\"cpu_seconds\":%.6f,"
+               "\"rows\":[",
+               json_escape(title).c_str(), opt.threads,
+               static_cast<unsigned long long>(opt.seed), opt.scale, wall,
+               cpu);
+  const auto& header = table.header();
+  for (std::size_t r = 0; r < table.data().size(); ++r) {
+    const auto& row = table.data()[r];
+    std::fprintf(f, "%s{", r == 0 ? "" : ",");
+    for (std::size_t c = 0; c < row.size() && c < header.size(); ++c) {
+      std::fprintf(f, "%s\"%s\":\"%s\"", c == 0 ? "" : ",",
+                   json_escape(header[c]).c_str(),
+                   json_escape(row[c]).c_str());
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+}
+
+/// Preferred emitter: text/CSV to stdout plus optional --json sidecar.
+inline void emit(const TextTable& table, const BenchOptions& opt,
+                 const std::string& title) {
+  emit(table, opt.csv, title);
+  emit_json(table, opt, title);
 }
 
 }  // namespace vlsipart::bench

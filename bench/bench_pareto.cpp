@@ -39,10 +39,10 @@ int main(int argc, char** argv) {
       MultistartResult r;
       if (e.ml) {
         MlPartitioner engine(ml_config(e.cfg));
-        r = run_multistart(problem, engine, opt.runs, opt.seed);
+        r = run_multistart(problem, engine, opt.runs, opt.seed, opt.threads);
       } else {
         FlatFmPartitioner engine(e.cfg);
-        r = run_multistart(problem, engine, opt.runs, opt.seed);
+        r = run_multistart(problem, engine, opt.runs, opt.seed, opt.threads);
       }
       const Sample cuts = r.cut_sample();
       for (const std::size_t k : budgets_in_starts) {
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
       all.add_row({p.label, fmt_fixed(p.cpu_seconds, 3),
                    fmt_fixed(p.cost, 1)});
     }
-    emit(all, opt.csv, "All (cost, runtime) points");
+    emit(all, opt, "All (cost, runtime) points");
 
     const auto frontier = pareto_frontier(points);
     TextTable front({"frontier point", "cpu (s)", "E[best cut]"});
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
       front.add_row({p.label, fmt_fixed(p.cpu_seconds, 3),
                      fmt_fixed(p.cost, 1)});
     }
-    emit(front, opt.csv, "Non-dominated (Pareto) frontier");
+    emit(front, opt, "Non-dominated (Pareto) frontier");
 
     // Ranking diagram at log-spaced budgets spanning the point cloud.
     double max_t = 0.0;
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
                     e.winner.empty() ? "-" : e.winner,
                     e.winner.empty() ? "-" : fmt_fixed(e.winner_cost, 1)});
     }
-    emit(rank, opt.csv, "Speed-dependent ranking diagram");
+    emit(rank, opt, "Speed-dependent ranking diagram");
   }
   return 0;
 }

@@ -72,14 +72,14 @@ int main(int argc, char** argv) {
             engine = std::make_unique<FlatFmPartitioner>(cfg);
           }
           const MultistartResult r =
-              run_multistart(problem, *engine, opt.runs, opt.seed);
+              run_multistart(problem, *engine, opt.runs, opt.seed, opt.threads);
           row.push_back(fmt_min_avg(static_cast<double>(r.min_cut()),
                                     r.avg_cut()));
         }
         table.add_row(std::move(row));
       }
     }
-    emit(table, opt.csv, block.title);
+    emit(table, opt, block.title);
   }
   return 0;
 }

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
         const PartitionProblem problem = make_problem(h, tol);
         FlatFmPartitioner engine(variant.cfg);
         const MultistartResult r =
-            run_multistart(problem, engine, opt.runs, opt.seed);
+            run_multistart(problem, engine, opt.runs, opt.seed, opt.threads);
         row.push_back(
             fmt_min_avg(static_cast<double>(r.min_cut()), r.avg_cut()));
       }
@@ -58,6 +58,6 @@ int main(int argc, char** argv) {
       "Table 2: LIFO FM, weak-implementation model vs ours; min/avg over "
       "%zu runs, scale %.2f\n\n",
       opt.runs, opt.scale);
-  emit(table, opt.csv, "LIFO FM comparison");
+  emit(table, opt, "LIFO FM comparison");
   return 0;
 }

@@ -74,8 +74,8 @@ int main(int argc, char** argv) {
       "Table 3: CLIP FM with and without the corking fix; min/avg over %zu "
       "runs, scale %.2f\n\n",
       opt.runs, opt.scale);
-  emit(table, opt.csv, "CLIP FM comparison");
-  emit(corked, opt.csv,
+  emit(table, opt, "CLIP FM comparison");
+  emit(corked, opt,
        "Corking incidence (runs with at least one zero-move pass)");
   return 0;
 }

@@ -54,7 +54,7 @@ inline int run_table45(int argc, char** argv, double tolerance,
         const std::uint64_t seed =
             opt.seed + 1000 * rep + 37 * (c + 1);
         const MultistartResult r = run_hmetis_like(
-            problem, engine, start_configs[c], vcycles, seed);
+            problem, engine, start_configs[c], vcycles, seed, opt.threads);
         cut_stats.add(static_cast<double>(r.best_cut));
         cpu_stats.add(r.total_cpu_seconds);
       }
@@ -67,7 +67,7 @@ inline int run_table45(int argc, char** argv, double tolerance,
   std::printf("\n%s: avg best cut / avg CPU sec; tolerance %.0f%%, %zu "
               "repeat(s), %zu V-cycle(s) on best, scale %.2f\n\n",
               table_name, tolerance * 100.0, repeats, vcycles, opt.scale);
-  emit(table, opt.csv, table_name);
+  emit(table, opt, table_name);
   return 0;
 }
 

@@ -197,9 +197,11 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
   // Build the gain container.  Fixed vertices never enter; oversized
   // vertices are excluded when the corking fix is on.
   const Weight window = problem_->balance.window();
-  std::vector<VertexId> order(n);
+  std::vector<VertexId>& order = build_order_;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0);
-  std::vector<Gain> initial_gain(n, 0);
+  std::vector<Gain>& initial_gain = initial_gain_;
+  initial_gain.assign(n, 0);
   for (std::size_t v = 0; v < n; ++v) {
     initial_gain[v] = state.gain(static_cast<VertexId>(v));
   }
@@ -241,8 +243,8 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
   std::size_t moves_since_best = 0;
   PartId last_from = kNoPart;
 
-  std::vector<std::uint32_t> old_pins0;
-  std::vector<std::uint32_t> old_pins1;
+  std::vector<std::uint32_t>& old_pins0 = old_pins0_;
+  std::vector<std::uint32_t>& old_pins1 = old_pins1_;
 
   while (true) {
     const Candidate cand = select_move(state, last_from);

@@ -110,6 +110,12 @@ class FmRefiner {
   /// Cut-after-each-move trajectory of the pass in flight (only when
   /// config_.record_trace).
   std::vector<Weight> current_trace_;
+  /// Per-pass scratch, hoisted so repeated refine() calls (multistart)
+  /// reuse the allocations instead of reconstructing them every pass.
+  std::vector<VertexId> build_order_;
+  std::vector<Gain> initial_gain_;
+  std::vector<std::uint32_t> old_pins0_;
+  std::vector<std::uint32_t> old_pins1_;
 };
 
 }  // namespace vlsipart

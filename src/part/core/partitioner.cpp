@@ -12,13 +12,27 @@ FlatFmPartitioner::FlatFmPartitioner(FmConfig config, std::string name,
 
 Weight FlatFmPartitioner::run(const PartitionProblem& problem, Rng& rng,
                               std::vector<PartId>& parts) {
-  parts = make_initial(problem, initial_, run_index_++, rng);
-  PartitionState state(*problem.graph);
-  state.assign(parts);
-  FmRefiner refiner(problem, config_);
-  last_result_ = refiner.refine(state, rng);
-  parts = state.parts();
-  return state.cut();
+  return run_start(problem, rng, parts, run_index_++);
+}
+
+Weight FlatFmPartitioner::run_start(const PartitionProblem& problem, Rng& rng,
+                                    std::vector<PartId>& parts,
+                                    std::size_t start_index) {
+  parts = make_initial(problem, initial_, start_index, rng);
+  if (&problem != bound_problem_ || problem.graph != bound_graph_) {
+    state_ = std::make_unique<PartitionState>(*problem.graph);
+    refiner_ = std::make_unique<FmRefiner>(problem, config_);
+    bound_problem_ = &problem;
+    bound_graph_ = problem.graph;
+  }
+  state_->assign(parts);
+  last_result_ = refiner_->refine(*state_, rng);
+  parts = state_->parts();
+  return state_->cut();
+}
+
+std::unique_ptr<Bipartitioner> FlatFmPartitioner::clone() const {
+  return std::make_unique<FlatFmPartitioner>(config_, name_, initial_);
 }
 
 }  // namespace vlsipart

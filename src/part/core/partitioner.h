@@ -29,10 +29,34 @@ class Bipartitioner {
   /// Returns the achieved cut.  Deterministic given the Rng state.
   virtual Weight run(const PartitionProblem& problem, Rng& rng,
                      std::vector<PartId>& parts) = 0;
+
+  /// Like run(), but with the multistart start index made explicit.
+  /// Engines whose behavior depends on how many starts they have served
+  /// (e.g. InitialScheme::kMixed alternation) must key that behavior on
+  /// `start_index` here, so a parallel harness executing starts out of
+  /// order reproduces the serial schedule bit-for-bit.  Default ignores
+  /// the index and forwards to run().
+  virtual Weight run_start(const PartitionProblem& problem, Rng& rng,
+                           std::vector<PartId>& parts,
+                           std::size_t start_index) {
+    (void)start_index;
+    return run(problem, rng, parts);
+  }
+
+  /// Fresh engine with identical configuration, for use as a private
+  /// per-worker instance in parallel multistart.  Returns nullptr when
+  /// the engine does not support cloning; parallel harnesses then fall
+  /// back to the serial path.
+  virtual std::unique_ptr<Bipartitioner> clone() const { return nullptr; }
 };
 
 /// Flat (single-level) FM or CLIP partitioner: random feasible initial
 /// solution + FM refinement with the configured implicit decisions.
+///
+/// The partition state and FM refiner (gain container, lock vector, move
+/// buffers) are allocated on first run and reused across starts on the
+/// same problem, so a multistart loop pays the allocation cost once
+/// instead of once per start.
 class FlatFmPartitioner final : public Bipartitioner {
  public:
   explicit FlatFmPartitioner(FmConfig config, std::string name = {},
@@ -41,6 +65,10 @@ class FlatFmPartitioner final : public Bipartitioner {
   std::string name() const override { return name_; }
   Weight run(const PartitionProblem& problem, Rng& rng,
              std::vector<PartId>& parts) override;
+  Weight run_start(const PartitionProblem& problem, Rng& rng,
+                   std::vector<PartId>& parts,
+                   std::size_t start_index) override;
+  std::unique_ptr<Bipartitioner> clone() const override;
 
   /// FM statistics of the most recent run (corking diagnostics etc.).
   const FmResult& last_result() const { return last_result_; }
@@ -53,6 +81,14 @@ class FlatFmPartitioner final : public Bipartitioner {
   InitialScheme initial_;
   FmResult last_result_;
   std::size_t run_index_ = 0;
+  /// Reusable scratch, bound to the problem of the most recent run.  The
+  /// refiner only captures graph-derived sizes at construction and reads
+  /// balance/fixed through the problem pointer, so rebinding is needed
+  /// exactly when the problem object (or its graph) changes.
+  const PartitionProblem* bound_problem_ = nullptr;
+  const Hypergraph* bound_graph_ = nullptr;
+  std::unique_ptr<PartitionState> state_;
+  std::unique_ptr<FmRefiner> refiner_;
 };
 
 }  // namespace vlsipart

@@ -14,6 +14,10 @@ MlPartitioner::MlPartitioner(MlConfig config, std::string name)
   }
 }
 
+std::unique_ptr<Bipartitioner> MlPartitioner::clone() const {
+  return std::make_unique<MlPartitioner>(config_, name_);
+}
+
 Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
                                    std::vector<PartId>& parts,
                                    bool restricted) {
@@ -142,9 +146,10 @@ MultistartResult run_hmetis_like(const PartitionProblem& problem,
                                  MlPartitioner& partitioner,
                                  std::size_t num_starts,
                                  std::size_t vcycles_on_best,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 std::size_t num_threads) {
   MultistartResult result =
-      run_multistart(problem, partitioner, num_starts, seed);
+      run_multistart(problem, partitioner, num_starts, seed, num_threads);
   if (result.best_parts.empty() || vcycles_on_best == 0) return result;
 
   // "hMetis-1.5 will V-cycle the best result among these starts": apply

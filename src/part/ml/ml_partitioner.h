@@ -47,6 +47,9 @@ class MlPartitioner final : public Bipartitioner {
   std::string name() const override { return name_; }
   Weight run(const PartitionProblem& problem, Rng& rng,
              std::vector<PartId>& parts) override;
+  /// The engine is stateless across runs, so a clone is just a fresh
+  /// instance of the same configuration (enables parallel multistart).
+  std::unique_ptr<Bipartitioner> clone() const override;
 
   /// One V-cycle: restricted coarsening around `parts`, then refinement.
   /// Returns the (never worse) cut.
@@ -69,11 +72,13 @@ class MlPartitioner final : public Bipartitioner {
 /// The paper's hMetis evaluation protocol (Sec. 3.2): run `num_starts`
 /// independent ML starts, keep the best, then V-cycle it `vcycles_on_best`
 /// times.  Returns the multistart record with best_parts/best_cut updated
-/// by the trailing V-cycles and total CPU including them.
+/// by the trailing V-cycles and total CPU including them.  The starts run
+/// on `num_threads` workers (the trailing V-cycles are inherently serial).
 MultistartResult run_hmetis_like(const PartitionProblem& problem,
                                  MlPartitioner& partitioner,
                                  std::size_t num_starts,
                                  std::size_t vcycles_on_best,
-                                 std::uint64_t seed);
+                                 std::uint64_t seed,
+                                 std::size_t num_threads = 1);
 
 }  // namespace vlsipart

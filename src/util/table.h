@@ -28,6 +28,10 @@ class TextTable {
   std::size_t rows() const { return rows_.size(); }
   std::size_t columns() const { return header_.size(); }
 
+  /// Raw cells, for machine-readable emitters (bench --json).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -13,4 +13,13 @@ double process_cpu_seconds() {
   return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
 }
 
+double thread_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  return process_cpu_seconds();
+}
+
 }  // namespace vlsipart

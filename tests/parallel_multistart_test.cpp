@@ -1,0 +1,197 @@
+// Determinism tests for the parallel multistart engine: every regime must
+// return bit-identical results at 1, 2 and 8 threads (the guarantee
+// documented in src/part/core/multistart.h), and the per-engine scratch
+// reuse must never leak state between starts.
+#include <gtest/gtest.h>
+
+#include "src/gen/netlist_gen.h"
+#include "src/part/core/multistart.h"
+#include "src/part/core/partitioner.h"
+#include "src/part/ml/ml_partitioner.h"
+
+namespace vlsipart {
+namespace {
+
+PartitionProblem make_problem(const Hypergraph& h, double tol) {
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), tol);
+  return p;
+}
+
+void expect_same_result(const MultistartResult& a, const MultistartResult& b,
+                        const char* label) {
+  ASSERT_EQ(a.starts.size(), b.starts.size()) << label;
+  for (std::size_t i = 0; i < a.starts.size(); ++i) {
+    EXPECT_EQ(a.starts[i].cut, b.starts[i].cut) << label << " start " << i;
+    EXPECT_EQ(a.starts[i].feasible, b.starts[i].feasible)
+        << label << " start " << i;
+  }
+  EXPECT_EQ(a.best_cut, b.best_cut) << label;
+  EXPECT_EQ(a.best_parts, b.best_parts) << label;
+}
+
+TEST(ParallelMultistart, FlatEngineBitIdenticalAcrossThreadCounts) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  FlatFmPartitioner serial_engine{FmConfig{}};
+  const MultistartResult serial = run_multistart(p, serial_engine, 16, 42, 1);
+  EXPECT_EQ(serial.threads_used, 1u);
+  for (const std::size_t threads : {2u, 8u}) {
+    FlatFmPartitioner engine{FmConfig{}};
+    const MultistartResult r = run_multistart(p, engine, 16, 42, threads);
+    EXPECT_EQ(r.threads_used, std::min<std::size_t>(threads, 16));
+    expect_same_result(serial, r, "flat");
+  }
+}
+
+TEST(ParallelMultistart, ClipEngineBitIdenticalAcrossThreadCounts) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.02);
+  FmConfig cfg;
+  cfg.clip = true;
+  cfg.exclude_oversized = true;
+  FlatFmPartitioner serial_engine{cfg};
+  const MultistartResult serial = run_multistart(p, serial_engine, 12, 7, 1);
+  for (const std::size_t threads : {2u, 8u}) {
+    FlatFmPartitioner engine{cfg};
+    const MultistartResult r = run_multistart(p, engine, 12, 7, threads);
+    expect_same_result(serial, r, "clip");
+  }
+}
+
+TEST(ParallelMultistart, MlEngineBitIdenticalAcrossThreadCounts) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  MlPartitioner serial_engine{MlConfig{}};
+  const MultistartResult serial = run_multistart(p, serial_engine, 6, 11, 1);
+  for (const std::size_t threads : {2u, 8u}) {
+    MlPartitioner engine{MlConfig{}};
+    const MultistartResult r = run_multistart(p, engine, 6, 11, threads);
+    expect_same_result(serial, r, "ml");
+  }
+}
+
+TEST(ParallelMultistart, MixedInitialSchemeKeyedByStartIndex) {
+  // kMixed alternates the initial generator by start index; the parallel
+  // path must key the alternation on the index, not on per-engine call
+  // counts, to match the serial schedule.
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  FlatFmPartitioner serial_engine{FmConfig{}, "", InitialScheme::kMixed};
+  const MultistartResult serial = run_multistart(p, serial_engine, 8, 5, 1);
+  FlatFmPartitioner engine{FmConfig{}, "", InitialScheme::kMixed};
+  const MultistartResult r = run_multistart(p, engine, 8, 5, 4);
+  expect_same_result(serial, r, "mixed");
+}
+
+TEST(ParallelMultistart, PrunedBitIdenticalAcrossThreadCounts) {
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  PruneConfig prune;
+  prune.factor = 1.02;  // tight factor so pruning actually triggers
+  const PrunedMultistartResult serial =
+      run_multistart_pruned(p, FmConfig{}, 16, 3, prune, 1);
+  EXPECT_GT(serial.pruned_starts, 0u);
+  for (const std::size_t threads : {2u, 8u}) {
+    const PrunedMultistartResult r =
+        run_multistart_pruned(p, FmConfig{}, 16, 3, prune, threads);
+    expect_same_result(serial.result, r.result, "pruned");
+    EXPECT_EQ(serial.pruned_starts, r.pruned_starts);
+  }
+}
+
+TEST(ParallelMultistart, BudgetedBitIdenticalWhenCapBinds) {
+  // With a budget far beyond the work, the admitted prefix is exactly the
+  // max_starts cap at any thread count, so full bit-identity must hold.
+  const Hypergraph h = generate_netlist(preset("small"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  FlatFmPartitioner serial_engine{FmConfig{}};
+  const MultistartResult serial =
+      run_multistart_budgeted(p, serial_engine, 1e9, 21, 10, 1);
+  ASSERT_EQ(serial.starts.size(), 10u);
+  for (const std::size_t threads : {2u, 8u}) {
+    FlatFmPartitioner engine{FmConfig{}};
+    const MultistartResult r =
+        run_multistart_budgeted(p, engine, 1e9, 21, 10, threads);
+    expect_same_result(serial, r, "budgeted");
+  }
+}
+
+TEST(ParallelMultistart, BudgetedParallelAdmitsPrefixAndAuditsBest) {
+  // Timing decides the prefix length, so only invariants are checked:
+  // the admitted set is a prefix, the best is its feasible minimum, and
+  // best_parts reproduces best_cut.
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  FlatFmPartitioner engine{FmConfig{}};
+  const MultistartResult r =
+      run_multistart_budgeted(p, engine, 1e-4, 9, 64, 4);
+  ASSERT_GE(r.starts.size(), 1u);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (const auto& s : r.starts) {
+    if (s.feasible) best = std::min(best, s.cut);
+  }
+  EXPECT_EQ(r.best_cut, best);
+  ASSERT_FALSE(r.best_parts.empty());
+  EXPECT_EQ(compute_cut(h, r.best_parts), r.best_cut);
+  EXPECT_EQ(check_solution(p, r.best_parts), "");
+}
+
+TEST(ParallelMultistart, NonClonableEngineFallsBackToSerial) {
+  class NoCloneEngine : public Bipartitioner {
+   public:
+    std::string name() const override { return "noclone"; }
+    Weight run(const PartitionProblem& problem, Rng& rng,
+               std::vector<PartId>& parts) override {
+      (void)rng;
+      parts = lpt_initial(problem);
+      return compute_cut(*problem.graph, parts);
+    }
+  };
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  NoCloneEngine engine;
+  const MultistartResult r = run_multistart(p, engine, 4, 1, 8);
+  EXPECT_EQ(r.threads_used, 1u);
+  EXPECT_EQ(r.starts.size(), 4u);
+}
+
+TEST(ParallelMultistart, ScratchReuseMatchesFreshEngines) {
+  // The reused state/refiner scratch inside FlatFmPartitioner must make
+  // every run independent of the runs before it.
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  Rng base(77);
+
+  FlatFmPartitioner reused{FmConfig{}};
+  std::vector<PartId> parts;
+  std::vector<Weight> reused_cuts;
+  for (std::size_t i = 0; i < 4; ++i) {
+    Rng rng = base.fork(i);
+    reused_cuts.push_back(reused.run_start(p, rng, parts, i));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    FlatFmPartitioner fresh{FmConfig{}};
+    Rng rng = base.fork(i);
+    std::vector<PartId> fresh_parts;
+    EXPECT_EQ(fresh.run_start(p, rng, fresh_parts, i), reused_cuts[i])
+        << "start " << i;
+  }
+}
+
+TEST(ParallelMultistart, WallClockAndCpuFieldsPopulated) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  const PartitionProblem p = make_problem(h, 0.1);
+  FlatFmPartitioner engine{FmConfig{}};
+  const MultistartResult r = run_multistart(p, engine, 4, 1, 2);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.total_cpu_seconds, 0.0);
+  EXPECT_EQ(r.threads_used, 2u);
+  double sum = 0.0;
+  for (const auto& s : r.starts) sum += s.cpu_seconds;
+  EXPECT_NEAR(sum, r.total_cpu_seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace vlsipart
