@@ -82,6 +82,38 @@ void BM_FmFullRefine(benchmark::State& state) {
 }
 BENCHMARK(BM_FmFullRefine)->Unit(benchmark::kMillisecond);
 
+// Delta-gain-heavy scenario: a medium instance with many huge clock/
+// reset-class nets (the shape vlsipart::gen deliberately produces).  The
+// classic per-pin gain-update walk makes every move O(pins of all
+// incident nets); the net-state-aware inner loop skips nets whose pin
+// counts stay >= 2 on both sides across the move.  Reported rate is
+// FM *moves per second* (items/s).
+void BM_FmDeltaGainLargeNets(benchmark::State& state) {
+  GenConfig cfg = preset("medium");
+  cfg.name = "medium-hugenets";
+  cfg.num_huge_nets = 16;
+  cfg.huge_net_span_fraction = 0.10;
+  const Hypergraph h = generate_netlist(cfg);
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance =
+      BalanceConstraint::from_tolerance(h.total_vertex_weight(), 0.10);
+  FmRefiner refiner(p, FmConfig{});
+  PartitionState s(h);
+  std::uint64_t seed = 0;
+  std::size_t moves = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    auto parts = random_initial(p, rng);
+    s.assign(parts);
+    const FmResult r = refiner.refine(s, rng);
+    moves += r.total_moves;
+    benchmark::DoNotOptimize(r.final_cut);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(moves));
+}
+BENCHMARK(BM_FmDeltaGainLargeNets)->Unit(benchmark::kMillisecond);
+
 void BM_CoarsenOneLevel(benchmark::State& state) {
   const Hypergraph h = generate_netlist(preset("medium"));
   std::uint64_t seed = 0;

@@ -1,15 +1,19 @@
 #include "src/hypergraph/contraction.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
+#include <span>
 
 #include "src/util/logging.h"
 
 namespace vlsipart {
 namespace {
 
-// 64-bit FNV-1a over a pin vector, used to bucket candidate parallel nets.
-std::uint64_t hash_pins(const std::vector<VertexId>& pins) {
+constexpr std::uint32_t kEmptySlot = std::numeric_limits<std::uint32_t>::max();
+
+// 64-bit FNV-1a over a pin sequence, used to bucket candidate parallel
+// nets in the open-addressing table.
+std::uint64_t hash_pins(std::span<const VertexId> pins) {
   std::uint64_t h = 1469598103934665603ULL;
   for (const VertexId v : pins) {
     h ^= v;
@@ -21,48 +25,63 @@ std::uint64_t hash_pins(const std::vector<VertexId>& pins) {
 }  // namespace
 
 ContractionResult contract(const Hypergraph& h,
-                           const std::vector<VertexId>& cluster_of) {
+                           const std::vector<VertexId>& cluster_of,
+                           ContractionMemory* memory) {
   VP_CHECK(cluster_of.size() == h.num_vertices(),
            "cluster map covers all vertices");
+
+  ContractionMemory local;
+  ContractionMemory& mem = memory != nullptr ? *memory : local;
+  const std::size_t n = cluster_of.size();
 
   ContractionResult result;
 
   // Renumber cluster ids densely in order of first appearance so the
-  // coarse vertex numbering is deterministic.
-  std::unordered_map<VertexId, VertexId> renumber;
-  renumber.reserve(cluster_of.size());
-  result.fine_to_coarse.resize(cluster_of.size());
-  for (std::size_t v = 0; v < cluster_of.size(); ++v) {
-    const auto [it, inserted] = renumber.try_emplace(
-        cluster_of[v], static_cast<VertexId>(renumber.size()));
-    result.fine_to_coarse[v] = it->second;
-    (void)inserted;
+  // coarse vertex numbering is deterministic.  Cluster ids are vertex ids
+  // (representatives), so a dense array replaces the historical hash map;
+  // an out-of-range id is a hard error rather than a silently created
+  // phantom coarse vertex.
+  mem.renumber.assign(n, kInvalidVertex);
+  result.fine_to_coarse.resize(n);
+  VertexId next_coarse = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId c = cluster_of[v];
+    VP_CHECK(c < n, "cluster id " << c << " of vertex " << v
+                                  << " exceeds num_vertices " << n);
+    if (mem.renumber[c] == kInvalidVertex) {
+      mem.renumber[c] = next_coarse++;
+    }
+    result.fine_to_coarse[v] = mem.renumber[c];
   }
-  const std::size_t nc = renumber.size();
+  const std::size_t nc = next_coarse;
   result.num_coarse_vertices = nc;
 
   HypergraphBuilder builder(nc);
   {
-    std::vector<Weight> weights(nc, 0);
-    for (std::size_t v = 0; v < cluster_of.size(); ++v) {
-      weights[result.fine_to_coarse[v]] +=
+    mem.cluster_weight.assign(nc, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      mem.cluster_weight[result.fine_to_coarse[v]] +=
           h.vertex_weight(static_cast<VertexId>(v));
     }
     for (std::size_t c = 0; c < nc; ++c) {
-      builder.set_vertex_weight(static_cast<VertexId>(c), weights[c]);
+      builder.set_vertex_weight(static_cast<VertexId>(c),
+                                mem.cluster_weight[c]);
     }
   }
 
-  // Rewrite each net onto coarse ids; dedup pins; collect candidates for
-  // parallel-net merging keyed by (hash, size).
-  struct PendingNet {
-    std::vector<VertexId> pins;
-    Weight weight;
-  };
-  std::vector<PendingNet> pending;
-  pending.reserve(h.num_edges());
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
-  std::vector<VertexId> coarse_pins;
+  // Rewrite each net onto coarse ids; dedup pins; merge parallel nets
+  // (identical pin sets) via a flat linear-probing table over the
+  // pending-net list.  At most one pending net exists per distinct pin
+  // set at any time, so probing by exact pin comparison reproduces the
+  // historical hash-map-of-lists merge exactly.
+  VP_CHECK(h.num_edges() < kEmptySlot, "edge count fits table entries");
+  std::size_t table_size = 16;
+  while (table_size < 2 * h.num_edges()) table_size <<= 1;
+  mem.slots.assign(table_size, kEmptySlot);
+  const std::size_t mask = table_size - 1;
+  mem.pending.clear();
+  mem.pin_pool.clear();
+  std::vector<VertexId>& coarse_pins = mem.coarse_pins;
 
   for (std::size_t e = 0; e < h.num_edges(); ++e) {
     coarse_pins.clear();
@@ -76,27 +95,37 @@ ContractionResult contract(const Hypergraph& h,
       ++result.nets_collapsed;
       continue;
     }
-    const std::uint64_t hash = hash_pins(coarse_pins);
-    bool merged = false;
-    if (auto it = by_hash.find(hash); it != by_hash.end()) {
-      for (const std::size_t idx : it->second) {
-        if (pending[idx].pins == coarse_pins) {
-          pending[idx].weight += h.edge_weight(static_cast<EdgeId>(e));
-          ++result.nets_merged;
-          merged = true;
-          break;
-        }
+    const Weight ew = h.edge_weight(static_cast<EdgeId>(e));
+    std::size_t slot = static_cast<std::size_t>(hash_pins(coarse_pins)) & mask;
+    while (true) {
+      const std::uint32_t idx = mem.slots[slot];
+      if (idx == kEmptySlot) {
+        mem.slots[slot] = static_cast<std::uint32_t>(mem.pending.size());
+        mem.pending.push_back(
+            {mem.pin_pool.size(),
+             static_cast<std::uint32_t>(coarse_pins.size()), ew});
+        mem.pin_pool.insert(mem.pin_pool.end(), coarse_pins.begin(),
+                            coarse_pins.end());
+        break;
       }
-    }
-    if (!merged) {
-      by_hash[hash].push_back(pending.size());
-      pending.push_back(
-          {coarse_pins, h.edge_weight(static_cast<EdgeId>(e))});
+      ContractionMemory::PendingNet& net = mem.pending[idx];
+      if (net.pins_size == coarse_pins.size() &&
+          std::equal(coarse_pins.begin(), coarse_pins.end(),
+                     mem.pin_pool.begin() +
+                         static_cast<std::ptrdiff_t>(net.pins_begin))) {
+        net.weight += ew;
+        ++result.nets_merged;
+        break;
+      }
+      slot = (slot + 1) & mask;
     }
   }
 
-  for (const auto& net : pending) {
-    builder.add_edge(net.pins, net.weight);
+  for (const ContractionMemory::PendingNet& net : mem.pending) {
+    builder.add_edge(
+        std::span<const VertexId>(mem.pin_pool.data() + net.pins_begin,
+                                  net.pins_size),
+        net.weight);
   }
   result.coarse = builder.finalize(h.name() + ".coarse");
   return result;

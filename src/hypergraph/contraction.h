@@ -7,13 +7,45 @@
 //   * rewrites each net onto cluster ids, dropping nets that collapse to a
 //     single cluster,
 //   * merges parallel nets (identical pin sets) by summing their weights.
+//
+// The implementation is allocation-free when the caller threads a
+// ContractionMemory through repeated calls (V-cycles, multistart ML):
+// cluster renumbering uses a dense array (cluster ids are vertex ids, so
+// they are bounded by num_vertices), pending-net pins live in one flat
+// pool, and parallel-net detection uses a flat open-addressing table —
+// no per-call unordered_map or per-net vector churn.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/hypergraph/hypergraph.h"
 
 namespace vlsipart {
+
+/// Reusable scratch buffers for contract().  All buffers grow to the
+/// high-water mark of the instances seen and are reused across calls.
+/// Not thread-safe: use one per thread (parallel ML multistart gives each
+/// worker its own engine clone, hence its own memory).
+struct ContractionMemory {
+  /// cluster id -> dense coarse id (kInvalidVertex = unseen).
+  std::vector<VertexId> renumber;
+  std::vector<Weight> cluster_weight;
+  /// Dedup'd coarse pins of the net currently being rewritten.
+  std::vector<VertexId> coarse_pins;
+  /// Flat pin storage of all surviving (pending) nets.
+  std::vector<VertexId> pin_pool;
+  struct PendingNet {
+    std::size_t pins_begin = 0;
+    std::uint32_t pins_size = 0;
+    Weight weight = 0;
+  };
+  std::vector<PendingNet> pending;
+  /// Open-addressing (linear probing) table over `pending` indices used
+  /// to find an identical surviving net; sized to a power of two with
+  /// load factor <= 0.5.
+  std::vector<std::uint32_t> slots;
+};
 
 struct ContractionResult {
   Hypergraph coarse;
@@ -27,11 +59,14 @@ struct ContractionResult {
 };
 
 /// Contract `h` according to `cluster_of` (size num_vertices; cluster ids
-/// need not be dense — they are renumbered).  Edge weights of merged
-/// parallel nets are summed so that coarse cut equals fine cut for any
-/// partition that respects the clusters.
+/// need not be dense — they are renumbered in first-appearance order, but
+/// must be < num_vertices).  Edge weights of merged parallel nets are
+/// summed so that coarse cut equals fine cut for any partition that
+/// respects the clusters.  `memory` (optional) supplies reusable scratch;
+/// passing nullptr uses call-local buffers.
 ContractionResult contract(const Hypergraph& h,
-                           const std::vector<VertexId>& cluster_of);
+                           const std::vector<VertexId>& cluster_of,
+                           ContractionMemory* memory = nullptr);
 
 /// Project a coarse 2-way assignment back onto the fine hypergraph.
 std::vector<PartId> project_partition(

@@ -49,7 +49,11 @@ void FmRefiner::lookahead_vector(const PartitionState& state, VertexId v,
       }
     }
     if (locked_to == 0) {
-      const std::uint32_t free_to = state.pins_in(e, to) - locked_to;
+      // Binding-number invariant: beta_to counts only *free* pins, but
+      // this branch runs only when the to-side holds no locked pin of e,
+      // so every to-side pin is free and the raw pin count IS the
+      // binding number (no locked-pin subtraction needed).
+      const std::uint32_t free_to = state.pins_in(e, to);
       if (free_to >= 1 && free_to + 1 <= depth) {
         out[free_to - 1] -= w;  // level-(free_to+1) negative term
       }
@@ -60,8 +64,9 @@ void FmRefiner::lookahead_vector(const PartitionState& state, VertexId v,
 VertexId FmRefiner::lookahead_pick(const PartitionState& state,
                                    VertexId head) const {
   VertexId best = kInvalidVertex;
-  std::vector<Gain> best_vec;
-  std::vector<Gain> vec;
+  std::vector<Gain>& best_vec = la_best_vec_;
+  std::vector<Gain>& vec = la_vec_;
+  best_vec.clear();
   std::size_t scanned = 0;
   for (VertexId v = head;
        v != kInvalidVertex && scanned < config_.lookahead_scan_limit;
@@ -243,8 +248,13 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
   std::size_t moves_since_best = 0;
   PartId last_from = kNoPart;
 
-  std::vector<std::uint32_t>& old_pins0 = old_pins0_;
-  std::vector<std::uint32_t>& old_pins1 = old_pins1_;
+  // Under the All-dgain policy even a zero-delta neighbor is reinserted
+  // (shuffling its bucket position and consuming rng), so every incident
+  // net must be walked.  Under Nonzero, a zero-delta walk is a no-op and
+  // non-critical nets can be skipped wholesale.
+  const bool can_skip_noncritical =
+      config_.zero_gain_update != ZeroGainUpdate::kAll;
+  MoveNetCounts& moved = move_counts_;
 
   while (true) {
     const Candidate cand = select_move(state, last_from);
@@ -258,17 +268,12 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
     container_.remove(v);
     locked_[v] = 1;
 
-    // Snapshot per-net pin counts, apply the move, then run the
-    // "four cut values" delta-gain update for every free vertex on every
-    // incident net (the straightforward implementation of Sec. 2.2).
+    // Apply the move — recording each incident net's pre-move pin counts
+    // in the same walk — then run the "four cut values" delta-gain
+    // update for every free vertex on every *critical* incident net
+    // (Sec. 2.2).
     const auto nets = h.incident_edges(v);
-    old_pins0.resize(nets.size());
-    old_pins1.resize(nets.size());
-    for (std::size_t i = 0; i < nets.size(); ++i) {
-      old_pins0[i] = state.pins_in(nets[i], 0);
-      old_pins1[i] = state.pins_in(nets[i], 1);
-    }
-    state.move(v);
+    state.move(v, moved);
     last_from = from;
     move_order_.push_back(v);
     ++stats.moves_made;
@@ -281,10 +286,23 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
 
     for (std::size_t i = 0; i < nets.size(); ++i) {
       const EdgeId e = nets[i];
+      const std::uint32_t old_pins[2] = {moved.old_pins[0][i],
+                                         moved.old_pins[1][i]};
+      // Net-state filter: if the source side keeps >= 2 pins after the
+      // move (old >= 3) and the destination side already had >= 2, the
+      // net is non-critical before AND after — every pin's "four cut
+      // values" delta is provably zero, so the O(pins) walk is pure
+      // overhead.  This turns huge clock/reset-class nets from O(pins)
+      // per move into O(1) for almost every move.
+      if (can_skip_noncritical && old_pins[from] >= 3 &&
+          old_pins[from ^ 1] >= 2) {
+        ++stats.nets_skipped_noncritical;
+        continue;
+      }
+      ++stats.nets_walked;
       const Weight ew = h.edge_weight(e);
       const std::uint32_t new_pins[2] = {state.pins_in(e, 0),
                                          state.pins_in(e, 1)};
-      const std::uint32_t old_pins[2] = {old_pins0[i], old_pins1[i]};
       for (const VertexId y : h.pins(e)) {
         if (y == v || locked_[y] || !container_.contains(y)) continue;
         const PartId py = state.part(y);

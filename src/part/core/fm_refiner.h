@@ -40,6 +40,58 @@ struct FmPassStats {
   std::size_t nonzero_delta_updates = 0;
   /// Vertices excluded from the gain structure as oversized.
   std::size_t oversized_excluded = 0;
+  /// Incident nets whose per-pin delta-gain walk was skipped because the
+  /// net stayed non-critical across the move (>= 2 pins on both sides
+  /// before and after — every pin's delta is provably zero).  Only
+  /// possible when zero_gain_update != kAll; the skip is observationally
+  /// identical to walking the net and doing nothing.
+  std::size_t nets_skipped_noncritical = 0;
+  /// Incident nets whose pins were actually walked during gain update.
+  std::size_t nets_walked = 0;
+};
+
+/// Cumulative gain-update work counters — the cost model behind the
+/// net-state-aware inner loop.  Aggregated across passes (and, in the
+/// multistart harness, across starts) so benches can report how much
+/// update work a configuration actually performed.
+struct UpdateWork {
+  std::size_t nets_skipped_noncritical = 0;
+  std::size_t nets_walked = 0;
+  std::size_t nonzero_delta_updates = 0;
+  std::size_t zero_delta_updates = 0;
+
+  void absorb(const FmPassStats& s) {
+    nets_skipped_noncritical += s.nets_skipped_noncritical;
+    nets_walked += s.nets_walked;
+    nonzero_delta_updates += s.nonzero_delta_updates;
+    zero_delta_updates += s.zero_delta_updates;
+  }
+  void absorb(const UpdateWork& o) {
+    nets_skipped_noncritical += o.nets_skipped_noncritical;
+    nets_walked += o.nets_walked;
+    nonzero_delta_updates += o.nonzero_delta_updates;
+    zero_delta_updates += o.zero_delta_updates;
+  }
+  /// Counters accumulated in `after` since the `before` snapshot.
+  static UpdateWork delta(const UpdateWork& after, const UpdateWork& before) {
+    UpdateWork d;
+    d.nets_skipped_noncritical =
+        after.nets_skipped_noncritical - before.nets_skipped_noncritical;
+    d.nets_walked = after.nets_walked - before.nets_walked;
+    d.nonzero_delta_updates =
+        after.nonzero_delta_updates - before.nonzero_delta_updates;
+    d.zero_delta_updates =
+        after.zero_delta_updates - before.zero_delta_updates;
+    return d;
+  }
+  /// Fraction of incident-net visits resolved without a pin walk.
+  double skip_rate() const {
+    const std::size_t total = nets_skipped_noncritical + nets_walked;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(nets_skipped_noncritical) /
+                     static_cast<double>(total);
+  }
 };
 
 struct FmResult {
@@ -56,6 +108,13 @@ struct FmResult {
   /// the raw data behind "traces of CLIP executions show that corking
   /// actually occurs fairly often" (Sec. 2.3).
   std::vector<std::vector<Weight>> pass_traces;
+
+  /// Gain-update work summed over all passes of this refine() call.
+  UpdateWork update_work() const {
+    UpdateWork w;
+    for (const FmPassStats& s : pass_stats) w.absorb(s);
+    return w;
+  }
 };
 
 class FmRefiner {
@@ -114,8 +173,13 @@ class FmRefiner {
   /// reuse the allocations instead of reconstructing them every pass.
   std::vector<VertexId> build_order_;
   std::vector<Gain> initial_gain_;
-  std::vector<std::uint32_t> old_pins0_;
-  std::vector<std::uint32_t> old_pins1_;
+  /// Pre-move pin counts of the moved vertex's nets, filled by
+  /// PartitionState::move() in the same walk that applies the move.
+  MoveNetCounts move_counts_;
+  /// Lookahead-selection scratch (lookahead_pick is called per selection;
+  /// the vectors are members so the per-call allocation disappears).
+  mutable std::vector<Gain> la_vec_;
+  mutable std::vector<Gain> la_best_vec_;
 };
 
 }  // namespace vlsipart

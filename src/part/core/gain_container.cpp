@@ -19,8 +19,22 @@ void GainContainer::reset(Gain max_abs_key) {
   max_abs_key_ = max_abs_key;
   const std::size_t buckets = static_cast<std::size_t>(2 * max_abs_key + 1);
   for (int s = 0; s < 2; ++s) {
-    head_[s].assign(buckets, kInvalidVertex);
-    tail_[s].assign(buckets, kInvalidVertex);
+    if (head_[s].size() != buckets) {
+      // First reset, or the key range changed: full (re)initialization.
+      head_[s].assign(buckets, kInvalidVertex);
+      tail_[s].assign(buckets, kInvalidVertex);
+    } else {
+      // Sparse reset: only slots touched since the previous reset can be
+      // nonempty.  The key range is O(max weighted degree) — with wide
+      // power-law edge weights it dwarfs the few hundred keys a pass
+      // actually uses, so clearing every slot per pass is the dominant
+      // reset cost this path avoids.
+      for (const std::size_t idx : touched_[s]) {
+        head_[s][idx] = kInvalidVertex;
+        tail_[s][idx] = kInvalidVertex;
+      }
+    }
+    touched_[s].clear();
     max_index_[s] = 0;
     count_[s] = 0;
   }
@@ -38,6 +52,11 @@ void GainContainer::push(VertexId v, PartId side, Gain key, bool at_head) {
   VertexId& head = head_[side][idx];
   VertexId& tail = tail_[side][idx];
   if (head == kInvalidVertex) {
+    // Slot transitions empty -> nonempty: remember it for the sparse
+    // reset.  A slot emptied and refilled within one pass may appear
+    // twice; clearing twice is harmless and the list stays bounded by
+    // the number of pushes.
+    touched_[side].push_back(idx);
     head = tail = v;
     prev_[v] = next_[v] = kInvalidVertex;
   } else if (at_head) {

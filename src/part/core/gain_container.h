@@ -85,6 +85,10 @@ class GainContainer {
   // Per-side bucket arrays: head/tail vertex per key index.
   std::vector<VertexId> head_[2];
   std::vector<VertexId> tail_[2];
+  // Key indices whose slots were written since the last reset(); reset()
+  // clears only these (the key range is O(max weighted degree), the
+  // touched set is O(ops per pass)).
+  std::vector<std::size_t> touched_[2];
   // Lazily maintained upper bound on the max nonempty key index.
   mutable std::size_t max_index_[2] = {0, 0};
   std::size_t count_[2] = {0, 0};

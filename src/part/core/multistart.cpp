@@ -119,6 +119,7 @@ MultistartResult run_multistart(const PartitionProblem& problem,
 
   if (engines.empty()) {
     // Serial path (also the fallback for non-clonable engines).
+    const UpdateWork work_before = partitioner.update_work();
     result.starts.reserve(num_starts);
     std::vector<PartId> parts;
     Weight best = kNoCut;
@@ -140,6 +141,10 @@ MultistartResult run_multistart(const PartitionProblem& problem,
     result.best_cut = (best == kNoCut) ? 0 : best;
     result.wall_seconds = wall.elapsed();
     result.threads_used = 1;
+    // The caller's engine may carry counters from earlier harness calls;
+    // report only the work this call added.
+    result.update_work =
+        UpdateWork::delta(partitioner.update_work(), work_before);
     return result;
   }
 
@@ -162,6 +167,12 @@ MultistartResult run_multistart(const PartitionProblem& problem,
 
   for (const StartRecord& r : result.starts) {
     result.total_cpu_seconds += r.cpu_seconds;
+  }
+  // Worker engines are fresh clones, so their counters are exactly this
+  // call's work; integer sums over a fixed start set are independent of
+  // which worker ran which start.
+  for (const auto& engine : engines) {
+    result.update_work.absorb(engine->update_work());
   }
   LocalBest merged = merge_bests(bests);
   result.best_cut = (merged.index == kNoIndex) ? 0 : merged.cut;

@@ -49,6 +49,10 @@ struct MultistartResult {
   /// Wall-clock of the whole harness call; shrinks with more threads.
   double wall_seconds = 0.0;
   std::size_t threads_used = 1;
+  /// Gain-update work summed over all starts (run_multistart only; the
+  /// pruned/budgeted regimes leave it zero).  Integer sums over a fixed
+  /// start set, so thread-count-invariant like everything else here.
+  UpdateWork update_work;
 
   Weight min_cut() const;
   double avg_cut() const;

@@ -33,13 +33,24 @@ void PartitionState::assign(std::span<const PartId> parts) {
   }
 }
 
-void PartitionState::move(VertexId v) {
+template <bool kRecord>
+void PartitionState::move_impl(VertexId v, MoveNetCounts* counts) {
   const PartId from = parts_[v];
   VP_DCHECK(from == 0 || from == 1, "vertex assigned before move");
   const PartId to = from ^ 1;
   const Weight w = h_->vertex_weight(v);
-  for (const EdgeId e : h_->incident_edges(v)) {
+  const auto nets = h_->incident_edges(v);
+  if constexpr (kRecord) {
+    counts->old_pins[0].resize(nets.size());
+    counts->old_pins[1].resize(nets.size());
+  }
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const EdgeId e = nets[i];
     const Weight ew = h_->edge_weight(e);
+    if constexpr (kRecord) {
+      counts->old_pins[0][i] = pins_in_[0][e];
+      counts->old_pins[1][i] = pins_in_[1][e];
+    }
     const bool was_cut = pins_in_[0][e] > 0 && pins_in_[1][e] > 0;
     --pins_in_[from][e];
     ++pins_in_[to][e];
@@ -50,6 +61,12 @@ void PartitionState::move(VertexId v) {
   parts_[v] = to;
   part_weight_[from] -= w;
   part_weight_[to] += w;
+}
+
+void PartitionState::move(VertexId v) { move_impl<false>(v, nullptr); }
+
+void PartitionState::move(VertexId v, MoveNetCounts& counts) {
+  move_impl<true>(v, &counts);
 }
 
 Gain PartitionState::gain(VertexId v) const {

@@ -30,6 +30,15 @@ struct PartitionProblem {
   }
 };
 
+/// Pre-move per-net pin counts of the nets incident to a moved vertex,
+/// filled by PartitionState::move(v, counts) in the same walk that
+/// applies the move (no separate snapshot pass).  old_pins[p][i] is the
+/// count of pins in part p of graph().incident_edges(v)[i] *before* the
+/// move.  Callers own the struct so its buffers are reused across moves.
+struct MoveNetCounts {
+  std::array<std::vector<std::uint32_t>, 2> old_pins;
+};
+
 class PartitionState {
  public:
   /// Binds to a hypergraph; all vertices start unassigned (kNoPart).
@@ -44,6 +53,12 @@ class PartitionState {
   /// Move one vertex to the other side; O(degree(v)) update of pin
   /// counts, part weights and cut.
   void move(VertexId v);
+
+  /// Like move(v), but additionally records the pre-move pin counts of
+  /// every incident net into `counts` — the inputs of the FM
+  /// "four cut values" delta-gain update — without a second pass over
+  /// the incidence lists.
+  void move(VertexId v, MoveNetCounts& counts);
 
   PartId part(VertexId v) const { return parts_[v]; }
   const std::vector<PartId>& parts() const { return parts_; }
@@ -74,6 +89,9 @@ class PartitionState {
   void audit() const;
 
  private:
+  template <bool kRecord>
+  void move_impl(VertexId v, MoveNetCounts* counts);
+
   const Hypergraph* h_;
   std::vector<PartId> parts_;
   std::array<Weight, 2> part_weight_{0, 0};

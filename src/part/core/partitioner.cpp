@@ -27,6 +27,7 @@ Weight FlatFmPartitioner::run_start(const PartitionProblem& problem, Rng& rng,
   }
   state_->assign(parts);
   last_result_ = refiner_->refine(*state_, rng);
+  work_.absorb(last_result_.update_work());
   parts = state_->parts();
   return state_->cut();
 }

@@ -48,6 +48,11 @@ class Bipartitioner {
   /// the engine does not support cloning; parallel harnesses then fall
   /// back to the serial path.
   virtual std::unique_ptr<Bipartitioner> clone() const { return nullptr; }
+
+  /// Cumulative gain-update work over every refine() this engine has
+  /// performed (all starts, all levels).  Engines that do not track work
+  /// report zeros; harnesses surface the counters as a skip-rate column.
+  virtual UpdateWork update_work() const { return {}; }
 };
 
 /// Flat (single-level) FM or CLIP partitioner: random feasible initial
@@ -73,6 +78,8 @@ class FlatFmPartitioner final : public Bipartitioner {
   /// FM statistics of the most recent run (corking diagnostics etc.).
   const FmResult& last_result() const { return last_result_; }
 
+  UpdateWork update_work() const override { return work_; }
+
   const FmConfig& config() const { return config_; }
 
  private:
@@ -80,6 +87,7 @@ class FlatFmPartitioner final : public Bipartitioner {
   std::string name_;
   InitialScheme initial_;
   FmResult last_result_;
+  UpdateWork work_;
   std::size_t run_index_ = 0;
   /// Reusable scratch, bound to the problem of the most recent run.  The
   /// refiner only captures graph-derived sizes at construction and reads

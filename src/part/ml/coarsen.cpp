@@ -25,7 +25,8 @@ Weight derived_max_cluster_weight(const Hypergraph& h,
 
 CoarsenLevel coarsen_once(const Hypergraph& h, const CoarsenConfig& config,
                           const std::vector<PartId>& fixed,
-                          const std::vector<PartId>& parts, Rng& rng) {
+                          const std::vector<PartId>& parts, Rng& rng,
+                          ContractionMemory* memory) {
   const std::size_t n = h.num_vertices();
   const Weight max_cw = derived_max_cluster_weight(h, config);
 
@@ -116,7 +117,7 @@ CoarsenLevel coarsen_once(const Hypergraph& h, const CoarsenConfig& config,
     cluster_of[v] = find(static_cast<VertexId>(v));
   }
 
-  ContractionResult contraction = contract(h, cluster_of);
+  ContractionResult contraction = contract(h, cluster_of, memory);
   CoarsenLevel level;
   level.coarse = std::move(contraction.coarse);
   level.fine_to_coarse = std::move(contraction.fine_to_coarse);
@@ -127,7 +128,8 @@ std::vector<CoarsenLevel> build_hierarchy(const Hypergraph& h,
                                           const CoarsenConfig& config,
                                           const std::vector<PartId>& fixed,
                                           const std::vector<PartId>& parts,
-                                          Rng& rng) {
+                                          Rng& rng,
+                                          ContractionMemory* memory) {
   std::vector<CoarsenLevel> levels;
   const Hypergraph* current = &h;
   std::vector<PartId> current_fixed = fixed;
@@ -135,7 +137,7 @@ std::vector<CoarsenLevel> build_hierarchy(const Hypergraph& h,
 
   while (current->num_vertices() > config.coarsen_to) {
     CoarsenLevel level = coarsen_once(*current, config, current_fixed,
-                                      current_parts, rng);
+                                      current_parts, rng, memory);
     const double reduction =
         static_cast<double>(level.coarse.num_vertices()) /
         static_cast<double>(current->num_vertices());

@@ -54,10 +54,13 @@ struct CoarsenLevel {
 
 /// One clustering + contraction step.  `fixed` (may be empty) marks
 /// vertices that must stay singletons; `parts` is consulted only when
-/// config.respect_parts is set.
+/// config.respect_parts is set.  `memory` (optional) supplies reusable
+/// contraction scratch so repeated coarsening (V-cycles, multistart ML)
+/// stays allocation-free.
 CoarsenLevel coarsen_once(const Hypergraph& h, const CoarsenConfig& config,
                           const std::vector<PartId>& fixed,
-                          const std::vector<PartId>& parts, Rng& rng);
+                          const std::vector<PartId>& parts, Rng& rng,
+                          ContractionMemory* memory = nullptr);
 
 /// Full hierarchy: repeatedly coarsen until coarsen_to or stall.
 /// levels[0] maps the input graph to levels[0].coarse, etc.
@@ -65,7 +68,8 @@ std::vector<CoarsenLevel> build_hierarchy(const Hypergraph& h,
                                           const CoarsenConfig& config,
                                           const std::vector<PartId>& fixed,
                                           const std::vector<PartId>& parts,
-                                          Rng& rng);
+                                          Rng& rng,
+                                          ContractionMemory* memory = nullptr);
 
 /// Push fixed-vertex constraints one level down: a coarse vertex is fixed
 /// to p iff it contains a fine vertex fixed to p (singletons by

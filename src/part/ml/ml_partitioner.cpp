@@ -26,8 +26,8 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
   CoarsenConfig coarsen_config = config_.coarsen;
   coarsen_config.respect_parts = restricted;
   const std::vector<PartId> guide = restricted ? parts : std::vector<PartId>{};
-  std::vector<CoarsenLevel> levels =
-      build_hierarchy(fine, coarsen_config, problem.fixed, guide, rng);
+  std::vector<CoarsenLevel> levels = build_hierarchy(
+      fine, coarsen_config, problem.fixed, guide, rng, &contraction_memory_);
 
   // Fixed constraints at each level.
   std::vector<std::vector<PartId>> fixed_at_level;
@@ -67,7 +67,7 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
     PartitionState state(*coarsest);
     state.assign(coarse_parts);
     FmRefiner refiner(coarse_problem, config_.refine);
-    refiner.refine(state, rng);
+    work_.absorb(refiner.refine(state, rng).update_work());
     coarse_parts = state.parts();
   } else {
     Weight best = std::numeric_limits<Weight>::max();
@@ -78,7 +78,7 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
           make_initial(coarse_problem, config_.initial_scheme, t, rng);
       PartitionState state(*coarsest);
       state.assign(trial);
-      refiner.refine(state, rng);
+      work_.absorb(refiner.refine(state, rng).update_work());
       const bool feasible =
           check_solution(coarse_problem, state.parts()).empty();
       const Weight cut = state.cut();
@@ -104,7 +104,7 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
     PartitionState state(*level_graph);
     state.assign(coarse_parts);
     FmRefiner refiner(level_problem, config_.refine);
-    refiner.refine(state, rng);
+    work_.absorb(refiner.refine(state, rng).update_work());
     coarse_parts = state.parts();
   }
 

@@ -47,14 +47,17 @@ class MlPartitioner final : public Bipartitioner {
   std::string name() const override { return name_; }
   Weight run(const PartitionProblem& problem, Rng& rng,
              std::vector<PartId>& parts) override;
-  /// The engine is stateless across runs, so a clone is just a fresh
-  /// instance of the same configuration (enables parallel multistart).
+  /// The engine carries only reusable scratch and work counters across
+  /// runs (no solution state), so a clone is just a fresh instance of the
+  /// same configuration (enables parallel multistart).
   std::unique_ptr<Bipartitioner> clone() const override;
 
   /// One V-cycle: restricted coarsening around `parts`, then refinement.
   /// Returns the (never worse) cut.
   Weight vcycle(const PartitionProblem& problem, Rng& rng,
                 std::vector<PartId>& parts);
+
+  UpdateWork update_work() const override { return work_; }
 
   const MlConfig& config() const { return config_; }
 
@@ -67,6 +70,13 @@ class MlPartitioner final : public Bipartitioner {
 
   MlConfig config_;
   std::string name_;
+  /// Gain-update work accumulated over every refine at every level.
+  UpdateWork work_;
+  /// Reusable contraction scratch shared by all hierarchies this engine
+  /// builds (runs, V-cycles).  Cloned engines get fresh scratch, so the
+  /// parallel multistart invariant (one engine per worker) keeps this
+  /// single-threaded.
+  ContractionMemory contraction_memory_;
 };
 
 /// The paper's hMetis evaluation protocol (Sec. 3.2): run `num_starts`

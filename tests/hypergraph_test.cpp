@@ -2,6 +2,7 @@
 // validation, statistics, and contraction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/gen/netlist_gen.h"
@@ -102,12 +103,14 @@ TEST(InstanceStats, MatchesHandComputation) {
 TEST(Contraction, MergesParallelNetsAndDropsInternal) {
   // Clusters {0,1} and {2,3}: edge {0,1} collapses; edges {0,2} and
   // {1,3} become parallel coarse nets and merge with summed weight.
+  // Cluster ids are non-dense (but in range — they are representative
+  // vertex ids) to exercise the first-appearance renumbering.
   HypergraphBuilder b(4);
   b.add_edge({0, 1});
   b.add_edge({0, 2});
   b.add_edge({1, 3});
   Hypergraph h = b.finalize();
-  const std::vector<VertexId> clusters = {9, 9, 4, 4};
+  const std::vector<VertexId> clusters = {3, 3, 2, 2};
   const ContractionResult r = contract(h, clusters);
   EXPECT_EQ(r.num_coarse_vertices, 2u);
   EXPECT_EQ(r.coarse.num_edges(), 1u);
@@ -116,6 +119,37 @@ TEST(Contraction, MergesParallelNetsAndDropsInternal) {
   EXPECT_EQ(r.nets_merged, 1u);
   EXPECT_EQ(r.coarse.total_vertex_weight(), h.total_vertex_weight());
   r.coarse.validate();
+}
+
+TEST(Contraction, RejectsOutOfRangeClusterIds) {
+  Hypergraph h = make_triangleish();
+  const std::vector<VertexId> clusters = {9, 9, 4, 4};
+  EXPECT_THROW(contract(h, clusters), std::logic_error);
+}
+
+TEST(Contraction, ReusedMemoryMatchesFreshCalls) {
+  // Threading one ContractionMemory through successive contractions must
+  // produce exactly what memory-less calls produce.
+  Hypergraph h = make_triangleish();
+  ContractionMemory memory;
+  std::vector<std::vector<VertexId>> maps = {
+      {0, 0, 1, 1}, {2, 2, 2, 3}, {0, 1, 2, 3}};
+  for (const auto& clusters : maps) {
+    const ContractionResult fresh = contract(h, clusters);
+    const ContractionResult reused = contract(h, clusters, &memory);
+    EXPECT_EQ(fresh.fine_to_coarse, reused.fine_to_coarse);
+    EXPECT_EQ(fresh.num_coarse_vertices, reused.num_coarse_vertices);
+    EXPECT_EQ(fresh.coarse.num_edges(), reused.coarse.num_edges());
+    for (std::size_t e = 0; e < fresh.coarse.num_edges(); ++e) {
+      const auto id = static_cast<EdgeId>(e);
+      EXPECT_EQ(fresh.coarse.edge_weight(id), reused.coarse.edge_weight(id));
+      const auto fp = fresh.coarse.pins(id);
+      const auto rp = reused.coarse.pins(id);
+      ASSERT_EQ(fp.size(), rp.size());
+      EXPECT_TRUE(std::equal(fp.begin(), fp.end(), rp.begin()));
+    }
+    reused.coarse.validate();
+  }
 }
 
 TEST(Contraction, ProjectionRoundTrip) {

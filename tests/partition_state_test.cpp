@@ -130,6 +130,64 @@ TEST(PartitionState, RandomMoveSequenceStaysConsistent) {
   EXPECT_EQ(s.cut(), compute_cut(h, s.parts()));
 }
 
+TEST(PartitionState, FuzzMoveRecordingAndAudit) {
+  // Seeded fuzz over three instance sizes: interleave plain moves,
+  // recording moves (the move(v, counts) overload the FM inner loop
+  // feeds on), and full re-assignments.  Every recording move's reported
+  // old pin counts must equal the pre-move pins_in of each incident net,
+  // and periodic audits pin the incremental bookkeeping to a
+  // from-scratch recomputation.
+  for (const char* name : {"tiny", "small", "medium"}) {
+    const Hypergraph h = generate_netlist(preset(name));
+    const std::size_t n = h.num_vertices();
+    PartitionState s(h);
+    Rng rng(0xf022eedULL ^ n);
+
+    std::vector<PartId> parts(n);
+    for (auto& p : parts) p = static_cast<PartId>(rng.below(2));
+    s.assign(parts);
+
+    MoveNetCounts counts;
+    std::vector<std::uint32_t> expect0, expect1;
+    std::size_t since_audit = 0;
+    for (int step = 0; step < 2000; ++step) {
+      const auto op = rng.below(100);
+      if (op < 2) {
+        // Occasional full re-assignment resets all incremental state.
+        for (auto& p : parts) p = static_cast<PartId>(rng.below(2));
+        s.assign(parts);
+        continue;
+      }
+      const auto v = static_cast<VertexId>(rng.below(n));
+      if (op < 50) {
+        s.move(v);
+      } else {
+        const auto edges = h.incident_edges(v);
+        expect0.clear();
+        expect1.clear();
+        for (const EdgeId e : edges) {
+          expect0.push_back(s.pins_in(e, 0));
+          expect1.push_back(s.pins_in(e, 1));
+        }
+        s.move(v, counts);
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+          ASSERT_EQ(counts.old_pins[0][i], expect0[i])
+              << name << " v=" << v << " i=" << i;
+          ASSERT_EQ(counts.old_pins[1][i], expect1[i])
+              << name << " v=" << v << " i=" << i;
+        }
+      }
+      if (++since_audit >= 64) {
+        s.audit();
+        EXPECT_EQ(s.cut(), compute_cut(h, s.parts()));
+        since_audit = 0;
+      }
+    }
+    s.audit();
+    EXPECT_EQ(s.cut(), compute_cut(h, s.parts()));
+  }
+}
+
 TEST(PartitionState, RejectsPartialAssignment) {
   const Hypergraph h = small_graph();
   PartitionState s(h);
