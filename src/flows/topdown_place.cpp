@@ -71,26 +71,33 @@ class TopdownPlacer {
     }
 
     struct SubNet {
+      EdgeId edge = kInvalidEdge;
       std::vector<VertexId> internal;  // local ids
       bool has_external = false;
       double external_pos_sum = 0.0;
       std::size_t external_count = 0;
     };
-    std::unordered_map<EdgeId, SubNet> subnets;
+    // Sub-nets are collected in deterministic first-encounter order (a
+    // pure function of cell order and the CSR layout); iterating a hash
+    // map here would order the sub-hypergraph's nets — and therefore the
+    // FM result — by the standard library's bucket layout.
+    std::vector<SubNet> subnets;
+    std::unordered_map<EdgeId, std::size_t> subnet_index;  // lookup only
     for (const VertexId v : region.cells) {
       for (const EdgeId e : h_.incident_edges(v)) {
-        auto [it, inserted] = subnets.try_emplace(e);
+        auto [it, inserted] = subnet_index.try_emplace(e, subnets.size());
         if (inserted) {
+          SubNet& net = subnets.emplace_back();
+          net.edge = e;
           for (const VertexId u : h_.pins(e)) {
             const auto lit = local_id.find(u);
             if (lit != local_id.end()) {
-              it->second.internal.push_back(lit->second);
+              net.internal.push_back(lit->second);
             } else {
-              it->second.has_external = true;
-              it->second.external_pos_sum += vertical
-                                                 ? report_.placement.x[u]
-                                                 : report_.placement.y[u];
-              ++it->second.external_count;
+              net.has_external = true;
+              net.external_pos_sum += vertical ? report_.placement.x[u]
+                                               : report_.placement.y[u];
+              ++net.external_count;
             }
           }
         }
@@ -99,7 +106,7 @@ class TopdownPlacer {
 
     // Count terminals (one per crossing net) and build the builder.
     std::size_t num_terminals = 0;
-    for (const auto& [e, net] : subnets) {
+    for (const SubNet& net : subnets) {
       if (net.has_external && !net.internal.empty()) ++num_terminals;
     }
     const std::size_t n_local = region.cells.size();
@@ -111,7 +118,7 @@ class TopdownPlacer {
     std::vector<PartId> fixed(n_local + num_terminals, kNoPart);
     std::size_t next_terminal = n_local;
     std::vector<VertexId> pins;
-    for (const auto& [e, net] : subnets) {
+    for (const SubNet& net : subnets) {
       if (net.internal.empty()) continue;
       pins = net.internal;
       if (net.has_external) {
@@ -123,7 +130,7 @@ class TopdownPlacer {
         pins.push_back(t);
         ++report_.terminals_created;
       }
-      builder.add_edge(pins, h_.edge_weight(e));
+      builder.add_edge(pins, h_.edge_weight(net.edge));
     }
     Hypergraph sub = builder.finalize();
 

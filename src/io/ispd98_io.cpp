@@ -3,7 +3,6 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "src/util/logging.h"
@@ -46,8 +45,11 @@ VertexId module_to_vertex(const std::string& name, std::size_t num_cells,
 }
 
 std::string vertex_to_module(VertexId v, std::size_t num_cells) {
-  if (v < num_cells) return "a" + std::to_string(v);
-  return "p" + std::to_string(v - num_cells + 1);
+  // Built via += rather than operator+(const char*, string&&), which
+  // trips GCC 12's -Wrestrict false positive (PR105329) under -Werror.
+  std::string out(1, v < num_cells ? 'a' : 'p');
+  out += std::to_string(v < num_cells ? v : v - num_cells + 1);
+  return out;
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/util/audit_config.h"
+
 namespace vlsipart {
 
 /// Tie-breaking among equal-key highest-gain buckets when moves are
@@ -90,6 +92,12 @@ struct FmConfig {
   /// Record the per-move cut trajectory of every pass into
   /// FmResult::pass_traces (diagnostic; costs one Weight per move).
   bool record_trace = false;
+
+  /// Runtime invariant audits (off by default).  The engine resolves this
+  /// against the VLSIPART_AUDIT environment variable at construction —
+  /// the env var, when set, wins — so audits can be forced on for any
+  /// binary without code changes.  See invariant_audit.h.
+  AuditConfig audit;
 
   std::string to_string() const;
 };

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "src/part/core/invariant_audit.h"
 #include "src/util/logging.h"
 
 namespace vlsipart {
@@ -11,6 +12,7 @@ namespace vlsipart {
 FmRefiner::FmRefiner(const PartitionProblem& problem, FmConfig config)
     : problem_(&problem),
       config_(config),
+      audit_(AuditConfig::resolve(config.audit)),
       container_(problem.graph->num_vertices(), config.insert_order),
       locked_(problem.graph->num_vertices(), 0) {
   // Keys are bounded by the weighted degree for classic FM and by twice
@@ -79,6 +81,18 @@ VertexId FmRefiner::lookahead_pick(const PartitionState& state,
     }
   }
   return best;
+}
+
+void FmRefiner::run_in_pass_audit(const PartitionState& state) const {
+  FmAuditView view;
+  view.problem = problem_;
+  view.config = &config_;
+  view.state = &state;
+  view.container = &container_;
+  view.initial_gain = initial_gain_;
+  view.locked = locked_;
+  view.locked_in = use_lookahead_ ? &locked_in_ : nullptr;
+  audit_mid_pass(view);
 }
 
 Weight FmRefiner::imbalance(Weight w0) const {
@@ -235,6 +249,10 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
     }
   }
 
+  // A freshly built container must agree with a from-scratch recompute
+  // before the first move — catches build-time bugs at the source.
+  if (audit_.enabled()) run_in_pass_audit(state);
+
   // Best-prefix tracking.  Key = (imbalance, cut); tie-break per policy.
   Weight best_cut = stats.cut_before;
   Weight best_imb = imbalance(state.part_weight(0));
@@ -345,6 +363,11 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
           break;
       }
     }
+    if (audit_.mode == AuditMode::kPerMoves &&
+        stats.moves_made % audit_.every_moves == 0) {
+      run_in_pass_audit(state);
+    }
+
     if (better) {
       best_cut = cut;
       best_imb = imb;
@@ -360,6 +383,11 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
       }
     }
   }
+
+  // The container (and, under lookahead, the locked-pin counts) must
+  // still agree with a from-scratch recompute at the end of the move
+  // sequence — every delta-gain update of the pass is on trial here.
+  if (audit_.enabled()) run_in_pass_audit(state);
 
   // Roll back to the best prefix.
   for (std::size_t i = move_order_.size(); i > best_prefix; --i) {
@@ -382,6 +410,12 @@ FmResult FmRefiner::refine(PartitionState& state, Rng& rng) {
     result.total_moves += stats.moves_made;
     if (stats.zero_move_pass) ++result.zero_move_passes;
     if (stats.stalled) ++result.stalled_passes;
+    if (audit_.enabled()) {
+      // Re-derive pin counts, cut and weights from the assignment and
+      // hold the pass to its rollback guarantees (never-worse balance
+      // violation; never-worse cut at equal violation).
+      audit_pass_boundary(*problem_, state, imb_before, stats.cut_before);
+    }
     const Weight imb_after = imbalance(state.part_weight(0));
     // Keep passing while the pass improved either the balance violation
     // or (at equal violation) the cut.

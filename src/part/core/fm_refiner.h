@@ -142,6 +142,10 @@ class FmRefiner {
   Candidate select_move(const PartitionState& state, PartId last_from) const;
   FmPassStats run_pass(PartitionState& state, Rng& rng);
 
+  /// From-scratch cross-check of every incrementally maintained structure
+  /// (see invariant_audit.h); called at the cadence audit_ prescribes.
+  void run_in_pass_audit(const PartitionState& state) const;
+
   /// Krishnamurthy level-2..r lookahead gains of v (binding numbers over
   /// free/locked pin counts); out[k-2] is the level-k gain.
   void lookahead_vector(const PartitionState& state, VertexId v,
@@ -158,6 +162,8 @@ class FmRefiner {
 
   const PartitionProblem* problem_;
   FmConfig config_;
+  /// config_.audit resolved against VLSIPART_AUDIT at construction.
+  AuditConfig audit_;
   GainContainer container_;
   std::vector<std::uint8_t> locked_;
   std::vector<VertexId> move_order_;

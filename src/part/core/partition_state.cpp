@@ -162,4 +162,18 @@ std::string check_solution(const PartitionProblem& problem,
   return {};
 }
 
+std::string check_solution(const PartitionProblem& problem,
+                           std::span<const PartId> parts, Weight claimed_cut) {
+  std::string base = check_solution(problem, parts);
+  if (!base.empty()) return base;
+  const Weight actual = compute_cut(*problem.graph, parts);
+  if (actual != claimed_cut) {
+    std::ostringstream out;
+    out << "cut miscounted: claimed " << claimed_cut << " but assignment cuts "
+        << actual;
+    return out.str();
+  }
+  return {};
+}
+
 }  // namespace vlsipart

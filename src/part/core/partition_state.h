@@ -112,4 +112,11 @@ std::array<Weight, 2> compute_part_weights(const Hypergraph& h,
 std::string check_solution(const PartitionProblem& problem,
                            std::span<const PartId> parts);
 
+/// As above, but additionally recomputes the cut from scratch and rejects
+/// the solution when it disagrees with `claimed_cut` — the check that
+/// catches an engine whose incremental bookkeeping drifted from the
+/// assignment it reports.
+std::string check_solution(const PartitionProblem& problem,
+                           std::span<const PartId> parts, Weight claimed_cut);
+
 }  // namespace vlsipart

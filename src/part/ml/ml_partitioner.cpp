@@ -29,6 +29,14 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
   std::vector<CoarsenLevel> levels = build_hierarchy(
       fine, coarsen_config, problem.fixed, guide, rng, &contraction_memory_);
 
+  // Under runtime audits, every contracted hypergraph gets the full
+  // structural validation (offset monotonicity, incidence-direction
+  // consistency, cached weight totals) before anything refines on it.
+  const AuditConfig audit = AuditConfig::resolve(config_.refine.audit);
+  if (audit.enabled()) {
+    for (const CoarsenLevel& level : levels) level.coarse.validate();
+  }
+
   // Fixed constraints at each level.
   std::vector<std::vector<PartId>> fixed_at_level;
   fixed_at_level.reserve(levels.size() + 1);
@@ -92,6 +100,8 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
   }
 
   // Uncoarsen + refine.
+  Weight audit_prev_cut =
+      audit.enabled() ? compute_cut(*coarsest, coarse_parts) : 0;
   for (std::size_t i = levels.size(); i-- > 0;) {
     const Hypergraph* level_graph = (i == 0) ? &fine : &levels[i - 1].coarse;
     coarse_parts = project_partition(levels[i].fine_to_coarse, coarse_parts);
@@ -103,9 +113,19 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
 
     PartitionState state(*level_graph);
     state.assign(coarse_parts);
+    if (audit.enabled()) {
+      // Contraction drops only uncuttable single-cluster nets and merges
+      // parallel nets weight-preservingly, so projecting a coarse
+      // solution one level down must reproduce its cut exactly.
+      VP_CHECK(state.cut() == audit_prev_cut,
+               "audit: projection to level " << i << " changed the cut from "
+                                             << audit_prev_cut << " to "
+                                             << state.cut());
+    }
     FmRefiner refiner(level_problem, config_.refine);
     work_.absorb(refiner.refine(state, rng).update_work());
     coarse_parts = state.parts();
+    audit_prev_cut = state.cut();
   }
 
   parts = std::move(coarse_parts);

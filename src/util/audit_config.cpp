@@ -1,0 +1,70 @@
+#include "src/util/audit_config.h"
+
+#include <cstdlib>
+
+#include "src/util/logging.h"
+
+namespace vlsipart {
+
+const char* name_of(AuditMode mode) {
+  switch (mode) {
+    case AuditMode::kOff:
+      return "off";
+    case AuditMode::kPerPass:
+      return "pass";
+    case AuditMode::kPerMoves:
+      return "moves";
+  }
+  return "?";
+}
+
+std::optional<AuditConfig> AuditConfig::from_env() {
+  const char* raw = std::getenv("VLSIPART_AUDIT");
+  if (raw == nullptr) return std::nullopt;
+  const std::string value(raw);
+  if (value.empty()) return std::nullopt;
+  AuditConfig config;
+  if (value == "off" || value == "0" || value == "none") {
+    config.mode = AuditMode::kOff;
+    return config;
+  }
+  if (value == "pass" || value == "1" || value == "per-pass") {
+    config.mode = AuditMode::kPerPass;
+    return config;
+  }
+  if (value == "moves") {
+    config.mode = AuditMode::kPerMoves;
+    return config;
+  }
+  if (value.rfind("moves:", 0) == 0 || value.rfind("moves=", 0) == 0) {
+    const std::string number = value.substr(6);
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(number.c_str(), &end, 10);
+    VP_CHECK(end != nullptr && *end == '\0' && n >= 1,
+             "VLSIPART_AUDIT cadence must be a positive integer, got '"
+                 << value << "'");
+    config.mode = AuditMode::kPerMoves;
+    config.every_moves = static_cast<std::size_t>(n);
+    return config;
+  }
+  VP_CHECK(false, "unrecognized VLSIPART_AUDIT value '"
+                      << value
+                      << "' (expected off, pass, moves, or moves:N)");
+  return std::nullopt;  // unreachable
+}
+
+AuditConfig AuditConfig::resolve(const AuditConfig& base) {
+  const std::optional<AuditConfig> env = from_env();
+  return env.has_value() ? *env : base;
+}
+
+std::string AuditConfig::to_string() const {
+  std::string out = name_of(mode);
+  if (mode == AuditMode::kPerMoves) {
+    out += ':';
+    out += std::to_string(every_moves);
+  }
+  return out;
+}
+
+}  // namespace vlsipart

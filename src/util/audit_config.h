@@ -1,0 +1,51 @@
+// Runtime invariant-audit configuration.
+//
+// The paper's thesis is that silent implementation bugs corrupt reported
+// results; the audit harness makes the expensive from-scratch
+// cross-checks (gain keys vs. recomputed gains, pin counts and cut vs.
+// the assignment, balance monotonicity across passes) available in ANY
+// run — not just unit tests — at a configurable cadence.  Audits never
+// consume RNG state or mutate anything, so enabling them cannot change
+// results, only detect that they are wrong.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace vlsipart {
+
+enum class AuditMode : std::uint8_t {
+  kOff = 0,      ///< no runtime audits (default; zero overhead)
+  kPerPass = 1,  ///< audit at FM pass boundaries (O(pins) per pass)
+  kPerMoves = 2, ///< per-pass audits plus a mid-pass audit every N moves
+};
+
+struct AuditConfig {
+  AuditMode mode = AuditMode::kOff;
+  /// Mid-pass audit cadence for kPerMoves (audit after every N moves).
+  std::size_t every_moves = 256;
+
+  bool enabled() const { return mode != AuditMode::kOff; }
+
+  /// Parse the VLSIPART_AUDIT environment variable:
+  ///   unset / ""        -> nullopt (no override)
+  ///   "off" | "0"       -> kOff
+  ///   "pass" | "1"      -> kPerPass
+  ///   "moves"           -> kPerMoves with the default cadence
+  ///   "moves:N"         -> kPerMoves auditing every N moves (N >= 1)
+  /// Any other value fails fast through VP_CHECK.
+  static std::optional<AuditConfig> from_env();
+
+  /// `base` unless VLSIPART_AUDIT is set, in which case the env wins.
+  /// This is what engines call at construction so one shell export turns
+  /// audits on for every binary without touching configs.
+  static AuditConfig resolve(const AuditConfig& base);
+
+  std::string to_string() const;
+};
+
+const char* name_of(AuditMode mode);
+
+}  // namespace vlsipart

@@ -1,12 +1,19 @@
 #include "src/util/logging.h"
 
 #include <cstdio>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace vlsipart {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+
+/// Serializes check_failed() stderr output so failures raised on worker
+/// threads (parallel multistart) never interleave mid-line.
+std::mutex g_check_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -36,6 +43,16 @@ void check_failed(const char* expr, const char* file, int line,
   std::string what = std::string("VP_CHECK failed: ") + expr + " at " + file +
                      ":" + std::to_string(line);
   if (!message.empty()) what += " — " + message;
+  {
+    // One atomic, thread-id-prefixed line per failure: concurrent checks
+    // from pool workers must stay readable on a shared stderr.
+    std::ostringstream tid;
+    tid << std::this_thread::get_id();
+    const std::lock_guard<std::mutex> lock(g_check_mutex);
+    std::fprintf(stderr, "[CHECK][tid %s] %s\n", tid.str().c_str(),
+                 what.c_str());
+    std::fflush(stderr);
+  }
   throw std::logic_error(what);
 }
 

@@ -1,0 +1,156 @@
+// Failure-path tests: VP_CHECK's fail-fast behavior (serialized,
+// thread-id-prefixed stderr line + std::logic_error; process death when
+// unhandled), check_solution's rejection cases, and the audit harness
+// catching a deliberately corrupted gain container end to end.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/part/core/invariant_audit.h"
+#include "src/part/core/partition_state.h"
+#include "src/util/logging.h"
+
+namespace vlsipart {
+namespace {
+
+TEST(VpCheckDeathTest, AbortsWithExpressionAndMessage) {
+  // A VP_CHECK failure nobody catches kills the process (the noexcept
+  // boundary stands in for "no handler anywhere up the stack"); the
+  // serialized stderr line carries the expression, location and
+  // streamed message.
+  EXPECT_DEATH(
+      ([]() noexcept { VP_CHECK(1 + 1 == 3, "arithmetic broke: " << 42); })(),
+      "VP_CHECK failed: 1 \\+ 1 == 3.*arithmetic broke: 42");
+}
+
+TEST(VpCheckDeathTest, StderrLineCarriesThreadIdPrefix) {
+  EXPECT_DEATH(([]() noexcept { VP_CHECK(false, "prefixed"); })(),
+               "\\[CHECK\\]\\[tid [0-9]+\\].*prefixed");
+}
+
+TEST(VpCheckDeathTest, WorkerThreadFailureIsPrefixedToo) {
+  EXPECT_DEATH(
+      {
+        std::thread worker([] { VP_CHECK(false, "from worker"); });
+        worker.join();
+      },
+      "\\[CHECK\\]\\[tid [0-9]+\\].*from worker");
+}
+
+TEST(VpCheck, ThrowsLogicErrorWhenHandled) {
+  // The throwing contract (callers may catch and reroute, as the thread
+  // pool does) is part of the API.
+  EXPECT_THROW(VP_CHECK(false, "caught"), std::logic_error);
+  try {
+    VP_CHECK(false, "streamed " << 7);
+    FAIL() << "VP_CHECK did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("VP_CHECK failed"), std::string::npos);
+    EXPECT_NE(what.find("streamed 7"), std::string::npos);
+  }
+}
+
+/// 4 unit-weight vertices in a 4-cycle of 2-pin nets.
+Hypergraph square() {
+  HypergraphBuilder b(4);
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  b.add_edge({2, 3});
+  b.add_edge({3, 0});
+  return b.finalize("square");
+}
+
+TEST(CheckSolution, RejectsOversizedBlock) {
+  const Hypergraph h = square();
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_bounds(h.total_vertex_weight(), 1, 3);
+  const std::vector<PartId> lopsided{0, 0, 0, 0};  // part 0 weighs 4 > 3
+  const std::string err = check_solution(p, lopsided);
+  EXPECT_NE(err.find("balance violated"), std::string::npos) << err;
+}
+
+TEST(CheckSolution, RejectsUnassignedVertex) {
+  const Hypergraph h = square();
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), 0.5);
+  const std::vector<PartId> holey{0, kNoPart, 1, 1};
+  const std::string err = check_solution(p, holey);
+  EXPECT_NE(err.find("unassigned"), std::string::npos) << err;
+}
+
+TEST(CheckSolution, RejectsMovedFixedVertex) {
+  const Hypergraph h = square();
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), 0.5);
+  p.fixed = {0, kNoPart, kNoPart, kNoPart};
+  const std::vector<PartId> moved{1, 0, 1, 1};
+  const std::string err = check_solution(p, moved);
+  EXPECT_NE(err.find("fixed vertex 0 moved"), std::string::npos) << err;
+}
+
+TEST(CheckSolution, RejectsSizeMismatch) {
+  const Hypergraph h = square();
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), 0.5);
+  const std::vector<PartId> short_parts{0, 1};
+  EXPECT_EQ(check_solution(p, short_parts), "assignment size mismatch");
+}
+
+TEST(CheckSolution, RejectsMiscountedCut) {
+  const Hypergraph h = square();
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance = BalanceConstraint::from_tolerance(h.total_vertex_weight(), 0.5);
+  const std::vector<PartId> parts{0, 0, 1, 1};  // cuts nets {1,2} and {3,0}
+  EXPECT_TRUE(check_solution(p, parts, 2).empty());
+  const std::string err = check_solution(p, parts, 1);
+  EXPECT_NE(err.find("cut miscounted"), std::string::npos) << err;
+  EXPECT_NE(err.find("claimed 1"), std::string::npos) << err;
+}
+
+TEST(AuditDeathTest, CorruptedGainContainerKillsTheProcess) {
+  // The full fail-fast path, exactly as a production binary with
+  // VLSIPART_AUDIT=pass would experience it: corrupt one key, audit,
+  // die with a diagnostic naming the drifted vertex.
+  EXPECT_DEATH(
+      ([]() noexcept {
+        const Hypergraph h = square();
+        PartitionProblem p;
+        p.graph = &h;
+        p.balance =
+            BalanceConstraint::from_tolerance(h.total_vertex_weight(), 0.5);
+        FmConfig config;
+        PartitionState state(h);
+        state.assign(std::vector<PartId>{0, 0, 1, 1});
+        GainContainer container(h.num_vertices(), InsertOrder::kLifo);
+        container.reset(8);
+        Rng rng(3);
+        std::vector<Gain> initial_gain(h.num_vertices());
+        const std::vector<std::uint8_t> locked(h.num_vertices(), 0);
+        for (std::size_t v = 0; v < h.num_vertices(); ++v) {
+          const auto vid = static_cast<VertexId>(v);
+          initial_gain[v] = state.gain(vid);
+          container.insert(vid, state.part(vid), initial_gain[v], rng);
+        }
+        container.update_key(3, -2, rng);  // the deliberate corruption
+        FmAuditView view;
+        view.problem = &p;
+        view.config = &config;
+        view.state = &state;
+        view.container = &container;
+        view.initial_gain = initial_gain;
+        view.locked = locked;
+        audit_gain_container(view);
+      })(),
+      "gain key drift at vertex 3");
+}
+
+}  // namespace
+}  // namespace vlsipart

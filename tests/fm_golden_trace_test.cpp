@@ -217,7 +217,9 @@ TEST(FmGoldenTrace, FlatConfigMatrix) {
       ++row;
     }
   }
-  if (!print) EXPECT_EQ(row, kFlatGolden.size());
+  if (!print) {
+    EXPECT_EQ(row, kFlatGolden.size());
+  }
 }
 
 TEST(FmGoldenTrace, MultilevelPipeline) {
@@ -250,7 +252,9 @@ TEST(FmGoldenTrace, MultilevelPipeline) {
       }
     }
   }
-  if (!print) EXPECT_EQ(row, kMlGolden.size());
+  if (!print) {
+    EXPECT_EQ(row, kMlGolden.size());
+  }
 }
 
 }  // namespace
