@@ -62,9 +62,17 @@ inline std::pair<double, double> bench_elapsed() {
 inline BenchOptions parse_options(int argc, char** argv,
                                   const std::string& default_cases,
                                   std::size_t default_runs,
-                                  double default_scale) {
+                                  double default_scale,
+                                  const std::vector<std::string>& extra = {}) {
   bench_elapsed();  // start the process-wide wall/CPU baseline
   const CliArgs args(argc, argv);
+  // Common vocabulary + the caller's bench-specific options; an
+  // unrecognized spelling ("--thread 8") aborts with a suggestion
+  // instead of silently running the default experiment.
+  std::vector<std::string> allowed = {"cases", "runs",    "scale", "seed",
+                                      "threads", "full",  "csv",   "json"};
+  allowed.insert(allowed.end(), extra.begin(), extra.end());
+  args.check_known(allowed);
   BenchOptions opt;
   opt.full = args.get_bool("full");
   opt.cases = args.get_list("cases", default_cases);

@@ -25,7 +25,8 @@ using namespace vlsipart::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = parse_options(argc, argv, "ibm01",
                                          /*default_runs=*/64,
-                                         /*default_scale=*/0.5);
+                                         /*default_scale=*/0.5,
+                                         {"threads-list", "ml"});
   const CliArgs args(argc, argv);
   std::vector<std::size_t> thread_counts;
   for (const auto& s : args.get_list("threads-list", "1,2,4,8")) {

@@ -24,7 +24,8 @@ using namespace vlsipart::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = parse_options(argc, argv, "ibm01",
                                          /*default_runs=*/20,
-                                         /*default_scale=*/0.5);
+                                         /*default_scale=*/0.5,
+                                         {"instances"});
   const CliArgs args(argc, argv);
   const auto instances =
       static_cast<std::size_t>(args.get_int("instances", 5));

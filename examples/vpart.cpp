@@ -39,6 +39,9 @@ using namespace vlsipart;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   try {
+    args.check_known({"hgr", "ispd98", "case", "scale", "k", "tolerance",
+                      "ubfactor", "engine", "starts", "vcycles", "seed",
+                      "out"});
     Hypergraph h;
     std::string source;
     if (args.has("hgr")) {

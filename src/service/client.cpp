@@ -1,0 +1,125 @@
+#include "src/service/client.h"
+
+namespace vlsipart::service {
+
+bool ServiceClient::connect(const Endpoint& endpoint, int timeout_ms) {
+  error_.clear();
+  sock_ = connect_endpoint(endpoint, timeout_ms, &error_);
+  return sock_.valid();
+}
+
+bool ServiceClient::request(const JsonValue& req, JsonValue& response,
+                            int timeout_ms) {
+  response = JsonValue();
+  if (!sock_.valid()) {
+    error_ = "not connected";
+    return false;
+  }
+  if (!write_frame(sock_.fd(), req.dump())) {
+    error_ = "send failed (server closed?)";
+    sock_.close();
+    return false;
+  }
+  std::string payload;
+  const FrameStatus status =
+      read_frame(sock_.fd(), payload, kMaxPayload, timeout_ms);
+  if (status != FrameStatus::kOk) {
+    error_ = std::string("no response: ") + frame_status_name(status);
+    sock_.close();
+    return false;
+  }
+  std::string parse_error;
+  if (!parse_json(payload, response, &parse_error)) {
+    error_ = "unparseable response: " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+PartitionReply parse_reply(const JsonValue& response) {
+  PartitionReply reply;
+  reply.ok = response.find("ok") != nullptr && response.find("ok")->as_bool();
+  if (const JsonValue* v = response.find("state")) {
+    reply.state = v->as_string();
+  }
+  if (const JsonValue* v = response.find("error")) {
+    reply.error = v->as_string();
+  }
+  if (const JsonValue* v = response.find("message")) {
+    reply.message = v->as_string();
+  }
+  if (const JsonValue* v = response.find("job")) reply.job = v->as_int(-1);
+  if (const JsonValue* v = response.find("cut")) {
+    reply.cut = static_cast<Weight>(v->as_int(0));
+  }
+  if (const JsonValue* v = response.find("cache")) {
+    reply.cache = v->as_string();
+  }
+  if (const JsonValue* v = response.find("queue_wait_s")) {
+    reply.queue_wait_s = v->as_number(0.0);
+  }
+  if (const JsonValue* v = response.find("run_s")) {
+    reply.run_s = v->as_number(0.0);
+  }
+  if (const JsonValue* v = response.find("parts"); v != nullptr &&
+                                                   v->is_array()) {
+    reply.parts.reserve(v->items().size());
+    for (const JsonValue& item : v->items()) {
+      reply.parts.push_back(static_cast<PartId>(item.as_int(0)));
+    }
+  }
+  return reply;
+}
+
+std::int64_t ServiceClient::submit(const SubmitRequest& req) {
+  JsonValue response;
+  if (!request(submit_to_json(req), response)) return -1;
+  const PartitionReply reply = parse_reply(response);
+  if (!reply.ok) {
+    error_ = reply.error.empty() ? "submit refused" : reply.error;
+    return -1;
+  }
+  return reply.job;
+}
+
+PartitionReply ServiceClient::fetch_result(std::int64_t job,
+                                           int timeout_ms) {
+  PartitionReply reply;
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::string("result"));
+  req.set("job", JsonValue::integer(job));
+  req.set("wait", JsonValue::boolean(true));
+  JsonValue response;
+  if (!request(req, response, timeout_ms)) {
+    reply.error = error_;
+    return reply;
+  }
+  return parse_reply(response);
+}
+
+PartitionReply ServiceClient::submit_and_wait(const SubmitRequest& req,
+                                              int timeout_ms) {
+  PartitionReply reply;
+  const std::int64_t job = submit(req);
+  if (job < 0) {
+    reply.error = error_.empty() ? "submit failed" : error_;
+    return reply;
+  }
+  return fetch_result(job, timeout_ms);
+}
+
+bool ServiceClient::stats(JsonValue& response) {
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::string("stats"));
+  return request(req, response);
+}
+
+bool ServiceClient::shutdown_server() {
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::string("shutdown"));
+  JsonValue response;
+  return request(req, response) && response.find("ok") != nullptr &&
+         response.find("ok")->as_bool();
+}
+
+}  // namespace vlsipart::service

@@ -1,0 +1,73 @@
+// Client library for the vpartd protocol.
+//
+// One ServiceClient wraps one connection; requests on a client are
+// serial (the protocol is strict request/response per frame).  Used by
+// tools/vpart_client, bench_service and the service tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hypergraph/types.h"
+#include "src/service/framing.h"
+#include "src/service/json.h"
+#include "src/service/protocol.h"
+
+namespace vlsipart::service {
+
+/// Outcome of a submit-and-wait round trip.
+struct PartitionReply {
+  bool ok = false;
+  std::string state;        // done | failed | expired | ...
+  std::string error;        // error code or transport failure
+  std::string message;
+  std::int64_t job = 0;
+  Weight cut = 0;
+  std::vector<PartId> parts;  // only when include_parts was requested
+  std::string cache;          // result | instance | none
+  double queue_wait_s = 0.0;
+  double run_s = 0.0;
+};
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+
+  /// Connect with a bounded wait.  Returns false and sets error() on
+  /// failure.
+  bool connect(const Endpoint& endpoint, int timeout_ms = 5000);
+  bool connected() const { return sock_.valid(); }
+  void close() { sock_.close(); }
+  const std::string& error() const { return error_; }
+
+  /// One request/response round trip.  Returns false (and sets error())
+  /// on transport or parse failure; protocol-level errors still return
+  /// true with the error carried in the response object.
+  bool request(const JsonValue& req, JsonValue& response,
+               int timeout_ms = -1);
+
+  /// submit + blocking result fetch in two frames.
+  PartitionReply submit_and_wait(const SubmitRequest& req,
+                                 int timeout_ms = -1);
+
+  /// Fire-and-forget submit; returns the job id or -1.
+  std::int64_t submit(const SubmitRequest& req);
+  /// Blocking (wait=true) result fetch for a previously submitted job.
+  PartitionReply fetch_result(std::int64_t job, int timeout_ms = -1);
+
+  bool stats(JsonValue& response);
+  bool shutdown_server();
+
+  /// Max response payload accepted (mirrors the server's cap).
+  static constexpr std::size_t kMaxPayload = 64u << 20;
+
+ private:
+  Socket sock_;
+  std::string error_;
+};
+
+/// Parse a result/submit response object into a PartitionReply.
+PartitionReply parse_reply(const JsonValue& response);
+
+}  // namespace vlsipart::service

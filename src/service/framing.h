@@ -1,0 +1,123 @@
+// Length-prefixed framing over local sockets for the vpartd protocol.
+//
+// Wire format: every message is one frame — a 4-byte big-endian payload
+// length followed by that many bytes of UTF-8 JSON.  Explicit framing
+// (rather than newline-delimited text) makes truncation, oversize and
+// garbage detectable *before* parsing, which is what lets the server
+// reject hostile or broken clients without crashing (the fuzz surface of
+// the robustness tests).
+//
+// Transports: Unix-domain sockets (the default: filesystem permissions,
+// no port allocation) with a localhost-TCP fallback for environments
+// without a writable socket directory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vlsipart::service {
+
+/// Where a service listens / a client connects.
+struct Endpoint {
+  std::string unix_path;        // non-empty => unix domain socket
+  std::uint16_t tcp_port = 0;   // else 127.0.0.1:tcp_port
+
+  bool is_unix() const { return !unix_path.empty(); }
+  /// "unix:/run/vpartd.sock" or "tcp:127.0.0.1:7077".
+  std::string describe() const;
+  /// Parse "unix:PATH", "tcp:PORT", or a bare filesystem path (treated
+  /// as unix).  Returns false and sets *error on a malformed spec.
+  static bool parse(const std::string& spec, Endpoint& out,
+                    std::string* error);
+};
+
+/// Move-only RAII socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+  /// shutdown(SHUT_RDWR): unblocks a peer thread sleeping in poll/read
+  /// on this fd (used by graceful drain to wake connection threads).
+  void shutdown_both();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen.  Unix endpoints unlink a stale socket file first.
+/// Throws std::runtime_error on failure.
+Socket listen_endpoint(const Endpoint& endpoint);
+
+/// Actual port of a listening TCP socket (resolves port 0 binds).
+std::uint16_t bound_tcp_port(const Socket& listener);
+
+/// Connect with a bounded wait.  Returns an invalid Socket and sets
+/// *error on failure.
+Socket connect_endpoint(const Endpoint& endpoint, int timeout_ms,
+                        std::string* error);
+
+/// Accept one client, waiting at most timeout_ms (<0 = forever).
+/// Returns an invalid Socket on timeout or listener shutdown.
+Socket accept_client(const Socket& listener, int timeout_ms);
+
+enum class FrameStatus : std::uint8_t {
+  kOk,         // complete frame available
+  kAgain,      // timeout elapsed with the frame still incomplete
+  kClosed,     // peer closed cleanly at a frame boundary
+  kTruncated,  // peer closed (or errored) mid-frame
+  kOversized,  // header announced a payload above the configured cap
+  kIoError,    // read failure
+};
+const char* frame_status_name(FrameStatus status);
+
+/// Incremental frame reader: buffers partial header/payload across
+/// poll_once() calls, so a connection loop can use short poll slices
+/// (to notice server shutdown) without losing bytes of a slow frame.
+class FrameReader {
+ public:
+  FrameReader(int fd, std::size_t max_payload);
+
+  /// Pump the socket once, waiting at most timeout_ms for readability.
+  /// kOk means payload() holds a complete frame; call reset() before the
+  /// next poll_once().  kAgain means "no complete frame yet" — callers
+  /// decide whether accumulated idle time exceeds their budget.
+  FrameStatus poll_once(int timeout_ms);
+
+  std::string& payload() { return payload_; }
+  /// True while a frame is partially read (idle at a frame boundary vs.
+  /// stalled mid-frame — different timeout policies).
+  bool mid_frame() const { return header_got_ > 0 || payload_got_ > 0; }
+  void reset();
+
+ private:
+  int fd_;
+  std::size_t max_payload_;
+  unsigned char header_[4] = {0, 0, 0, 0};
+  std::size_t header_got_ = 0;
+  std::string payload_;
+  std::size_t payload_got_ = 0;
+  bool have_length_ = false;
+};
+
+/// Blocking convenience: read one whole frame, waiting at most
+/// timeout_ms (<0 = forever).  Used by the client library.
+FrameStatus read_frame(int fd, std::string& payload, std::size_t max_payload,
+                       int timeout_ms);
+
+/// Write one frame (header + payload), looping over partial writes.
+/// Returns false on any error (EPIPE from a vanished client, send
+/// timeout, ...).  Never raises SIGPIPE.
+bool write_frame(int fd, std::string_view payload);
+
+}  // namespace vlsipart::service

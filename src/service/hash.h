@@ -1,0 +1,43 @@
+// FNV-1a 64-bit hashing for service cache keys.
+//
+// Both caches of the service layer are content-addressed with this hash:
+// the instance cache hashes hypergraph structure, the result cache
+// hashes the canonical request (instance content hash + every
+// result-affecting knob).  FNV-1a is deterministic across runs and
+// platforms of the same endianness; the keys never leave the process, so
+// cross-endian stability is not required.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace vlsipart::service {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t hash = kFnvOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+inline std::uint64_t fnv1a64(std::string_view text,
+                             std::uint64_t hash = kFnvOffset) {
+  return fnv1a64(text.data(), text.size(), hash);
+}
+
+template <typename T>
+inline std::uint64_t fnv1a64_value(const T& value,
+                                   std::uint64_t hash = kFnvOffset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a64(&value, sizeof(T), hash);
+}
+
+}  // namespace vlsipart::service

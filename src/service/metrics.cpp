@@ -1,0 +1,128 @@
+#include "src/service/metrics.h"
+
+#include <cstdio>
+
+namespace vlsipart::service {
+
+void ServiceMetrics::count_accepted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.accepted;
+}
+
+void ServiceMetrics::count_request() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.requests;
+}
+
+void ServiceMetrics::count_submitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.submitted;
+}
+
+void ServiceMetrics::count_completed(double queue_wait_seconds,
+                                     double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.completed;
+  data_.queue_wait.record(queue_wait_seconds);
+  data_.latency.record(latency_seconds);
+}
+
+void ServiceMetrics::count_failed(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.failed;
+  data_.latency.record(latency_seconds);
+}
+
+void ServiceMetrics::count_expired(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.expired;
+  data_.latency.record(latency_seconds);
+}
+
+void ServiceMetrics::count_shed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.shed;
+}
+
+void ServiceMetrics::count_rejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.rejected;
+}
+
+void ServiceMetrics::count_result_cache_hit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.result_cache_hits;
+}
+
+void ServiceMetrics::count_instance_cache_hit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.instance_cache_hits;
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+namespace {
+
+JsonValue histogram_json(const LatencyHistogram& h) {
+  JsonValue out = JsonValue::object();
+  out.set("count",
+          JsonValue::integer(static_cast<std::int64_t>(h.count())));
+  out.set("mean_s", JsonValue::number(h.mean_seconds()));
+  out.set("p50_s", JsonValue::number(h.quantile(0.50)));
+  out.set("p95_s", JsonValue::number(h.quantile(0.95)));
+  out.set("p99_s", JsonValue::number(h.quantile(0.99)));
+  out.set("max_s", JsonValue::number(h.max_seconds()));
+  return out;
+}
+
+}  // namespace
+
+JsonValue ServiceMetrics::to_json() const {
+  const MetricsSnapshot s = snapshot();
+  JsonValue out = JsonValue::object();
+  const auto add = [&out](const char* key, std::uint64_t v) {
+    out.set(key, JsonValue::integer(static_cast<std::int64_t>(v)));
+  };
+  add("accepted", s.accepted);
+  add("requests", s.requests);
+  add("submitted", s.submitted);
+  add("completed", s.completed);
+  add("failed", s.failed);
+  add("expired", s.expired);
+  add("shed", s.shed);
+  add("rejected", s.rejected);
+  add("result_cache_hits", s.result_cache_hits);
+  add("instance_cache_hits", s.instance_cache_hits);
+  out.set("queue_wait", histogram_json(s.queue_wait));
+  out.set("latency", histogram_json(s.latency));
+  return out;
+}
+
+std::string ServiceMetrics::log_line(std::size_t queue_depth,
+                                     std::size_t in_flight) const {
+  const MetricsSnapshot s = snapshot();
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "vpartd stats: requests=%llu submitted=%llu done=%llu failed=%llu "
+      "expired=%llu shed=%llu rejected=%llu rcache=%llu icache=%llu "
+      "queue=%zu inflight=%zu",
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.expired),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.result_cache_hits),
+      static_cast<unsigned long long>(s.instance_cache_hits), queue_depth,
+      in_flight);
+  std::string line(buf);
+  line += " latency{" + s.latency.summary() + "}";
+  return line;
+}
+
+}  // namespace vlsipart::service

@@ -1,0 +1,60 @@
+// Service observability: counters + latency histograms behind one lock.
+//
+// Everything here is monitoring-only — numbers reported by `stats` and
+// the periodic log line — and never feeds back into partitioning
+// decisions, so wall-clock readings are allowed (see
+// tools/determinism_lint.py, rule "wall-clock").
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/service/json.h"
+#include "src/util/histogram.h"
+
+namespace vlsipart::service {
+
+struct MetricsSnapshot {
+  std::uint64_t accepted = 0;        // connections accepted
+  std::uint64_t requests = 0;        // frames parsed into requests
+  std::uint64_t submitted = 0;       // jobs admitted to the queue
+  std::uint64_t completed = 0;       // jobs finished successfully
+  std::uint64_t failed = 0;          // jobs that threw
+  std::uint64_t expired = 0;         // jobs whose deadline passed queued
+  std::uint64_t shed = 0;            // submits rejected: queue full
+  std::uint64_t rejected = 0;        // malformed/oversized/bad requests
+  std::uint64_t result_cache_hits = 0;
+  std::uint64_t instance_cache_hits = 0;
+  LatencyHistogram queue_wait;    // admission -> worker pickup
+  LatencyHistogram latency;       // admission -> terminal state
+};
+
+class ServiceMetrics {
+ public:
+  void count_accepted();
+  void count_request();
+  void count_submitted();
+  void count_completed(double queue_wait_seconds, double latency_seconds);
+  void count_failed(double latency_seconds);
+  void count_expired(double latency_seconds);
+  void count_shed();
+  void count_rejected();
+  void count_result_cache_hit();
+  void count_instance_cache_hit();
+
+  MetricsSnapshot snapshot() const;
+
+  /// stats payload members (flat; caller owns the envelope).
+  JsonValue to_json() const;
+
+  /// One structured line for the periodic server log:
+  /// "vpartd stats: requests=12 done=10 ... p95=3.2ms".
+  std::string log_line(std::size_t queue_depth, std::size_t in_flight) const;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot data_;
+};
+
+}  // namespace vlsipart::service

@@ -1,8 +1,33 @@
 #include "src/util/cli.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace vlsipart {
+namespace {
+
+/// Levenshtein distance, used only for "did you mean" hints on unknown
+/// options (names are short, so the O(n*m) DP is trivial).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t previous = row[j];
+      const std::size_t substitute =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+      diagonal = previous;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -41,13 +66,51 @@ std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("--" + name + " expects an integer, got '" +
+                                text + "'");
+  }
+  return value;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("--" + name + " expects a number, got '" +
+                                text + "'");
+  }
+  return value;
+}
+
+void CliArgs::check_known(const std::vector<std::string>& allowed) const {
+  for (const auto& [name, value] : options_) {
+    if (std::find(allowed.begin(), allowed.end(), name) != allowed.end()) {
+      continue;
+    }
+    std::string message = "unknown option --" + name;
+    std::size_t best = 4;  // suggest only close matches
+    const std::string* suggestion = nullptr;
+    for (const std::string& candidate : allowed) {
+      const std::size_t d = edit_distance(name, candidate);
+      if (d < best) {
+        best = d;
+        suggestion = &candidate;
+      }
+    }
+    if (suggestion != nullptr) {
+      message += " (did you mean --" + *suggestion + "?)";
+    }
+    throw std::invalid_argument(message);
+  }
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -18,9 +18,22 @@ class CliArgs {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Numeric accessors return `fallback` when the option is absent and
+  /// throw std::invalid_argument when it is present but not a clean
+  /// number ("--starts=abc", "--starts 12x", a bare "--starts" flag, or
+  /// an out-of-range value) — a silent 0 from strtoll would otherwise
+  /// turn a typo into a wrong experiment.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Throws std::invalid_argument when any option passed on the command
+  /// line is not in `allowed`, suggesting the closest allowed spelling —
+  /// catches "--thread 8" (typo for "--threads") that would otherwise be
+  /// silently ignored.  Call after construction with the binary's full
+  /// option vocabulary.
+  void check_known(const std::vector<std::string>& allowed) const;
 
   /// Non-option positional arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }

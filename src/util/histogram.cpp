@@ -1,0 +1,79 @@
+#include "src/util/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace vlsipart {
+
+std::size_t LatencyHistogram::bucket_index(double seconds) {
+  const double us = seconds * 1e6;
+  if (!(us >= 1.0)) return 0;  // also catches NaN and negatives
+  const auto u = static_cast<std::uint64_t>(us);
+  // bit_width(u) == floor(log2(u)) + 1, so us in [2^(i-1), 2^i) lands in
+  // bucket i.
+  const std::size_t index = std::bit_width(u);
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+double LatencyHistogram::bucket_upper_seconds(std::size_t index) {
+  if (index == 0) return 1e-6;
+  return std::ldexp(1.0, static_cast<int>(index)) * 1e-6;
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;
+  ++buckets_[bucket_index(seconds)];
+  ++count_;
+  total_seconds_ += seconds;
+  if (seconds > max_seconds_) max_seconds_ = seconds;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  total_seconds_ += other.total_seconds_;
+  if (other.max_seconds_ > max_seconds_) max_seconds_ = other.max_seconds_;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return bucket_upper_seconds(i);
+  }
+  return bucket_upper_seconds(kBuckets - 1);
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%s p50=%s p95=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                format_duration(mean_seconds()).c_str(),
+                format_duration(quantile(0.50)).c_str(),
+                format_duration(quantile(0.95)).c_str(),
+                format_duration(quantile(0.99)).c_str(),
+                format_duration(max_seconds_).c_str());
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  char buf[48];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace vlsipart

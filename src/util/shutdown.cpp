@@ -1,0 +1,76 @@
+#include "src/util/shutdown.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+
+namespace vlsipart {
+namespace {
+
+// std::atomic<bool> is lock-free on every platform we target, which
+// makes it safe to store from a signal handler (the standard's
+// async-signal-safety condition for atomics).
+std::atomic<bool> g_shutdown_requested{false};
+int g_wake_pipe[2] = {-1, -1};
+bool g_installed = false;
+
+void wake() {
+  if (g_wake_pipe[1] >= 0) {
+    const char byte = 's';
+    // The pipe is non-blocking; a full pipe already wakes the poller, so
+    // a failed write is harmless.
+    [[maybe_unused]] const ssize_t rc = ::write(g_wake_pipe[1], &byte, 1);
+  }
+}
+
+void on_signal(int /*signo*/) {
+  // NOLINTNEXTLINE(bugprone-signal-handler) lock-free atomic store and
+  // write() are both async-signal-safe.
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+  if (g_installed) return;
+  g_installed = true;
+  if (::pipe(g_wake_pipe) == 0) {
+    for (const int fd : g_wake_pipe) {
+      ::fcntl(fd, F_SETFL, O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  } else {
+    g_wake_pipe[0] = g_wake_pipe[1] = -1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = &on_signal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool shutdown_requested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+int shutdown_fd() { return g_wake_pipe[0]; }
+
+void reset_shutdown_for_test() {
+  g_shutdown_requested.store(false, std::memory_order_relaxed);
+  if (g_wake_pipe[0] >= 0) {
+    char buf[64];
+    while (::read(g_wake_pipe[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,35 @@
+// Async-signal-safe shutdown latch for graceful daemon drain.
+//
+// vpartd must finish in-flight partition requests when the operator
+// sends SIGTERM/SIGINT (deploy rollover, ctrl-C) instead of dying with
+// work half-done.  The classic self-pipe pattern: the handler sets an
+// atomic flag and writes one byte to a non-blocking pipe, so the main
+// loop can poll() the pipe fd alongside its sockets and react within one
+// poll tick.  Also ignores SIGPIPE process-wide, so a client that
+// disconnects mid-response surfaces as an EPIPE write error instead of
+// killing the daemon.
+#pragma once
+
+namespace vlsipart {
+
+/// Install SIGTERM/SIGINT handlers (and ignore SIGPIPE).  Idempotent;
+/// call once near the top of main().
+void install_shutdown_handler();
+
+/// True once a handled signal arrived or request_shutdown() was called.
+bool shutdown_requested();
+
+/// Programmatic trigger with the same effect as receiving SIGTERM
+/// (used by the service's {"op":"shutdown"} handler and by tests).
+void request_shutdown();
+
+/// Readable fd that becomes ready when shutdown is requested; poll() it
+/// alongside sockets.  Returns -1 before install_shutdown_handler().
+int shutdown_fd();
+
+/// Test hook: clear the latch and drain the wake pipe.  Not
+/// signal-safe; call only when no handled signal can arrive
+/// concurrently.
+void reset_shutdown_for_test();
+
+}  // namespace vlsipart

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -29,6 +29,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  submit_with_slot(
+      [task = std::move(task)](std::size_t /*worker*/) { task(); });
+}
+
+void ThreadPool::submit_with_slot(
+    std::function<void(std::size_t worker)> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
@@ -41,9 +47,9 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
   while (true) {
-    std::function<void()> task;
+    std::function<void(std::size_t)> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -52,7 +58,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    task(slot);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

@@ -43,6 +43,12 @@ class ThreadPool {
   /// (parallel_for_dynamic captures and rethrows for you).
   void submit(std::function<void()> task);
 
+  /// Like submit(), but the task receives the stable worker slot id in
+  /// [0, num_threads()) it executes on.  Two tasks observing the same
+  /// slot never overlap, so per-slot scratch (e.g. a resident
+  /// partitioning engine in the service layer) needs no locking.
+  void submit_with_slot(std::function<void(std::size_t worker)> task);
+
   /// Block until the queue is empty and every worker is idle.
   void wait_idle();
 
@@ -62,10 +68,10 @@ class ThreadPool {
                             const std::function<void(std::size_t index)>& body);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t slot);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void(std::size_t)>> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;

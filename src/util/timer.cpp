@@ -6,6 +6,7 @@ namespace vlsipart {
 
 double process_cpu_seconds() {
   timespec ts{};
+  // CPU-time reading for reports only.  // det-lint: allow(wall-clock)
   if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
     return static_cast<double>(ts.tv_sec) +
            static_cast<double>(ts.tv_nsec) * 1e-9;
@@ -15,6 +16,7 @@ double process_cpu_seconds() {
 
 double thread_cpu_seconds() {
   timespec ts{};
+  // CPU-time reading for reports only.  // det-lint: allow(wall-clock)
   if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
     return static_cast<double>(ts.tv_sec) +
            static_cast<double>(ts.tv_nsec) * 1e-9;

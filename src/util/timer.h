@@ -26,9 +26,13 @@ double thread_cpu_seconds();
 class WallTimer {
  public:
   WallTimer() { reset(); }
+  // Timers measure for reports and benches; readings never feed back
+  // into partitioning decisions.
+  // det-lint: allow(wall-clock)
   void reset() { start_ = Clock::now(); }
   /// Elapsed seconds since construction or last reset().
   double elapsed() const {
+    // det-lint: allow(wall-clock)
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 

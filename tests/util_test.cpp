@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "src/util/cli.h"
 #include "src/util/logging.h"
@@ -284,6 +285,64 @@ TEST(Cli, ParsesLists) {
   EXPECT_EQ(list[2], "ibm03");
   const auto fallback = args.get_list("other", "a,b");
   ASSERT_EQ(fallback.size(), 2u);
+}
+
+TEST(Cli, StrictIntParsing) {
+  const char* argv[] = {"prog",       "--starts", "12x",  "--runs", "abc",
+                        "--empty-ok", "--big",    "999999999999999999999",
+                        "--good",     "17"};
+  const CliArgs args(10, argv);
+  EXPECT_EQ(args.get_int("good", 0), 17);
+  // Trailing garbage, non-numeric text, overflow, and a valueless flag
+  // all throw instead of silently becoming 0 or a truncated prefix.
+  EXPECT_THROW(args.get_int("starts", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_int("runs", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_int("big", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_int("empty-ok", 0), std::invalid_argument);
+  // The error message names the option and the offending text.
+  try {
+    args.get_int("starts", 0);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("starts"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("12x"), std::string::npos);
+  }
+}
+
+TEST(Cli, StrictDoubleParsing) {
+  const char* argv[] = {"prog", "--tol", "0.02oops", "--scale", "0.25",
+                        "--sci", "1e-3"};
+  const CliArgs args(7, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(args.get_double("sci", 0.0), 1e-3);
+  EXPECT_THROW(args.get_double("tol", 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 0.5), 0.5);
+}
+
+TEST(Cli, CheckKnownAcceptsVocabulary) {
+  const char* argv[] = {"prog", "--threads", "8", "--seed", "3"};
+  const CliArgs args(5, argv);
+  EXPECT_NO_THROW(args.check_known({"threads", "seed", "scale"}));
+}
+
+TEST(Cli, CheckKnownRejectsTypoWithSuggestion) {
+  const char* argv[] = {"prog", "--thread", "8"};
+  const CliArgs args(3, argv);
+  try {
+    args.check_known({"threads", "seed", "scale"});
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--thread"), std::string::npos);
+    EXPECT_NE(what.find("--threads"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, CheckKnownRejectsUnrelatedOption) {
+  const char* argv[] = {"prog", "--zzzzzzz", "8"};
+  const CliArgs args(3, argv);
+  EXPECT_THROW(args.check_known({"threads", "seed"}),
+               std::invalid_argument);
 }
 
 TEST(Logging, CheckFailureThrows) {

@@ -18,6 +18,12 @@ Rules
                     through the explicitly seeded vlsipart::Rng.
   time-seed         Seeding anything from the clock (time(), ::now(),
                     clock()): ties results to the wall clock.
+  wall-clock        Any clock read (::now(), clock_gettime(),
+                    gettimeofday()).  Legitimate uses — timers for
+                    reporting, service deadlines/idle timeouts, stats
+                    cadence — must carry an annotation affirming the
+                    reading feeds only observability or admission
+                    policy, never a partitioning result.
   unordered-in-core Any std::unordered_{map,set} in src/part/ or
                     src/hypergraph/: the partitioning core must not
                     depend on hash-bucket layout at all.
@@ -88,6 +94,13 @@ SIMPLE_RULES = [
             r"(?:\bseed|\bSeed|\breseed|\bRng\b)"
         ),
         "seeding from the clock ties results to the wall clock",
+    ),
+    (
+        "wall-clock",
+        re.compile(r"::now\s*\(|\bclock_gettime\s*\(|\bgettimeofday\s*\("),
+        "wall-clock read: annotate to affirm timing feeds only "
+        "observability or admission policy (timers, deadlines, idle "
+        "timeouts), never a partitioning result",
     ),
 ]
 

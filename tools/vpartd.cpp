@@ -1,0 +1,72 @@
+// vpartd — long-running partitioning daemon.
+//
+// Serves the length-prefixed JSON protocol of src/service over a Unix
+// domain socket (default) or localhost TCP.  Reuses engines and built
+// instances across requests, load-sheds when the admission queue fills,
+// and drains gracefully on SIGTERM/SIGINT: in-flight requests finish,
+// new submits are refused, then the process exits 0.
+//
+// Usage:
+//   vpartd --socket unix:/tmp/vpartd.sock        (default)
+//   vpartd --socket tcp:7077                      (127.0.0.1 only)
+// Options:
+//   --workers 2            concurrent partitioning jobs
+//   --queue 64             admission queue capacity (beyond = shed)
+//   --max-payload-mb 4     per-frame payload cap
+//   --idle-timeout-ms 30000  silent connections are closed
+//   --stats-interval 0     seconds between stats log lines (0 = off)
+//   --instance-cache 8     resident built hypergraphs
+//   --result-cache 256     resident finished results
+//   --verbose              per-event log lines on stderr
+#include <cstdio>
+#include <exception>
+
+#include "src/service/server.h"
+#include "src/util/cli.h"
+#include "src/util/shutdown.h"
+
+using namespace vlsipart;
+using namespace vlsipart::service;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    args.check_known({"socket", "workers", "queue", "max-payload-mb",
+                      "idle-timeout-ms", "stats-interval", "instance-cache",
+                      "result-cache", "verbose"});
+    ServiceConfig config;
+    std::string endpoint_error;
+    if (!Endpoint::parse(args.get("socket", "unix:/tmp/vpartd.sock"),
+                         config.endpoint, &endpoint_error)) {
+      std::fprintf(stderr, "vpartd: %s\n", endpoint_error.c_str());
+      return 2;
+    }
+    config.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+    config.queue_capacity =
+        static_cast<std::size_t>(args.get_int("queue", 64));
+    config.max_payload = static_cast<std::size_t>(
+                             args.get_int("max-payload-mb", 4))
+                         << 20;
+    config.idle_timeout_ms =
+        static_cast<int>(args.get_int("idle-timeout-ms", 30000));
+    config.stats_log_interval_s = args.get_double("stats-interval", 0.0);
+    config.instance_cache_capacity =
+        static_cast<std::size_t>(args.get_int("instance-cache", 8));
+    config.result_cache_capacity =
+        static_cast<std::size_t>(args.get_int("result-cache", 256));
+    config.verbose = args.get_bool("verbose");
+
+    install_shutdown_handler();
+    PartitionService server(std::move(config));
+    server.start();
+    std::printf("vpartd: serving on %s\n",
+                server.bound_endpoint().describe().c_str());
+    std::fflush(stdout);
+    server.serve_until_shutdown();
+    std::printf("vpartd: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vpartd: %s\n", e.what());
+    return 1;
+  }
+}
