@@ -17,8 +17,18 @@
 //   --vcycles 1     V-cycles applied to the best result (k = 2 only)
 //   --seed 1
 //   --out out.part  solution file (default <input>.part.<k>)
+// FM policy knobs (the paper's Sec. 2.2 implicit decisions, explicit):
+//   --tie-break away|part0|toward      --zero-gain all|nonzero
+//   --insert-order lifo|fifo|random    --best-choice first|last|balance
+//   --illegal-head bucket|side         --look-beyond-first
+//   --lookahead R   --lookahead-scan N
+//   --max-passes N  --max-moves-past-best N  --exclude-oversized
+//   --audit off|pass|moves  --audit-every N
+// Multilevel knobs (ml engine):
+//   --initial-tries N  --coarsen-to N  --min-reduction X
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 #include "src/eval/objectives.h"
 #include "src/gen/netlist_gen.h"
@@ -36,12 +46,89 @@
 
 using namespace vlsipart;
 
+namespace {
+
+/// Map a --flag value to an enum through a (name, value) table; throws
+/// with the full vocabulary on an unknown spelling.
+template <typename Enum>
+Enum parse_choice(const CliArgs& args, const std::string& flag,
+                  std::initializer_list<std::pair<const char*, Enum>> table,
+                  Enum fallback) {
+  const std::string value = args.get(flag, "");
+  if (value.empty()) return fallback;
+  std::string allowed;
+  for (const auto& [name, v] : table) {
+    if (value == name) return v;
+    if (!allowed.empty()) allowed += "|";
+    allowed += name;
+  }
+  throw std::runtime_error("unknown --" + flag + " (" + allowed +
+                           "): " + value);
+}
+
+/// The full FM policy surface from flags (defaults = FmConfig defaults).
+FmConfig fm_config_from_args(const CliArgs& args) {
+  FmConfig fm;
+  fm.tie_break = parse_choice(args, "tie-break",
+                              {{"away", TieBreak::kAway},
+                               {"part0", TieBreak::kPart0},
+                               {"toward", TieBreak::kToward}},
+                              fm.tie_break);
+  fm.zero_gain_update = parse_choice(args, "zero-gain",
+                                     {{"all", ZeroGainUpdate::kAll},
+                                      {"nonzero", ZeroGainUpdate::kNonzero}},
+                                     fm.zero_gain_update);
+  fm.insert_order = parse_choice(args, "insert-order",
+                                 {{"lifo", InsertOrder::kLifo},
+                                  {"fifo", InsertOrder::kFifo},
+                                  {"random", InsertOrder::kRandom}},
+                                 fm.insert_order);
+  fm.best_choice = parse_choice(args, "best-choice",
+                                {{"first", BestChoice::kFirst},
+                                 {"last", BestChoice::kLast},
+                                 {"balance", BestChoice::kBalance}},
+                                fm.best_choice);
+  fm.illegal_head =
+      parse_choice(args, "illegal-head",
+                   {{"bucket", IllegalHeadPolicy::kSkipBucket},
+                    {"side", IllegalHeadPolicy::kSkipSide}},
+                   fm.illegal_head);
+  fm.exclude_oversized = args.get_bool("exclude-oversized",
+                                       fm.exclude_oversized);
+  fm.look_beyond_first = args.get_bool("look-beyond-first",
+                                       fm.look_beyond_first);
+  fm.lookahead_depth = static_cast<int>(
+      args.get_int("lookahead", fm.lookahead_depth));
+  fm.lookahead_scan_limit = static_cast<std::size_t>(args.get_int(
+      "lookahead-scan", static_cast<std::int64_t>(fm.lookahead_scan_limit)));
+  fm.max_passes = static_cast<int>(args.get_int("max-passes",
+                                                fm.max_passes));
+  fm.max_moves_past_best = static_cast<std::size_t>(args.get_int(
+      "max-moves-past-best",
+      static_cast<std::int64_t>(fm.max_moves_past_best)));
+  fm.audit.mode = parse_choice(args, "audit",
+                               {{"off", AuditMode::kOff},
+                                {"pass", AuditMode::kPerPass},
+                                {"moves", AuditMode::kPerMoves}},
+                               fm.audit.mode);
+  fm.audit.every_moves = static_cast<std::size_t>(args.get_int(
+      "audit-every", static_cast<std::int64_t>(fm.audit.every_moves)));
+  return fm;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   try {
     args.check_known({"hgr", "ispd98", "case", "scale", "k", "tolerance",
                       "ubfactor", "engine", "starts", "vcycles", "seed",
-                      "out"});
+                      "out", "tie-break", "zero-gain", "insert-order",
+                      "best-choice", "illegal-head", "exclude-oversized",
+                      "look-beyond-first", "lookahead", "lookahead-scan",
+                      "max-passes", "max-moves-past-best", "audit",
+                      "audit-every", "initial-tries", "coarsen-to",
+                      "min-reduction"});
     Hypergraph h;
     std::string source;
     if (args.has("hgr")) {
@@ -71,7 +158,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("vcycles", 1));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
-    FmConfig fm;
+    FmConfig fm = fm_config_from_args(args);
     if (engine_name == "clip") {
       fm.clip = true;
       fm.exclude_oversized = true;
@@ -90,6 +177,15 @@ int main(int argc, char** argv) {
           h.total_vertex_weight(), tolerance);
       if (engine_name == "ml") {
         MlConfig config;
+        config.refine = fm;
+        config.initial_tries = static_cast<std::size_t>(args.get_int(
+            "initial-tries",
+            static_cast<std::int64_t>(config.initial_tries)));
+        config.coarsen.coarsen_to = static_cast<std::size_t>(args.get_int(
+            "coarsen-to",
+            static_cast<std::int64_t>(config.coarsen.coarsen_to)));
+        config.coarsen.min_reduction = args.get_double(
+            "min-reduction", config.coarsen.min_reduction);
         MlPartitioner engine(config);
         const MultistartResult r =
             run_hmetis_like(problem, engine, starts, vcycles, seed);

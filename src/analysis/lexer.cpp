@@ -1,0 +1,306 @@
+#include "src/analysis/lexer.h"
+
+#include <cctype>
+
+namespace vlsipart::analysis {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Encoding prefixes that may precede a raw string literal.
+bool raw_string_prefix(const std::string& ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+/// Multi-character punctuators, longest first.  "<<" and ">>" are
+/// deliberately absent: lexing angle brackets one at a time keeps
+/// template-argument matching in the rules simple, and no rule needs
+/// shift operators as a unit.
+const char* const kPuncts3[] = {"...", "->*", "<=>"};
+const char* const kPuncts2[] = {"::", "->", "++", "--", "+=", "-=", "*=",
+                                "/=", "%=", "&=", "|=", "^=", "==", "!=",
+                                "<=", ">=", "&&", "||", "##"};
+
+class Lexer {
+ public:
+  Lexer(const std::string& path, const std::string& src) : src_(src) {
+    out_.path = path;
+  }
+
+  LexedFile run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        advance_line();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++i_;
+        ++col_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_preprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        lex_string();
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (ident_start(c)) {
+        lex_identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void advance_line() {
+    ++i_;
+    ++line_;
+    col_ = 1;
+    at_line_start_ = true;
+  }
+
+  void emit(TokenKind kind, std::string text, int line, int col) {
+    out_.tokens.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  void lex_line_comment() {
+    const int line = line_;
+    const std::size_t start = i_ + 2;
+    while (i_ < src_.size() && src_[i_] != '\n') {
+      ++i_;
+      ++col_;
+    }
+    out_.comments.push_back(Comment{src_.substr(start, i_ - start), line});
+  }
+
+  void lex_block_comment() {
+    const int line = line_;
+    i_ += 2;
+    col_ += 2;
+    const std::size_t start = i_;
+    std::size_t end = src_.size();
+    while (i_ < src_.size()) {
+      if (src_[i_] == '*' && peek(1) == '/') {
+        end = i_;
+        i_ += 2;
+        col_ += 2;
+        break;
+      }
+      if (src_[i_] == '\n') {
+        advance_line();
+        at_line_start_ = false;
+      } else {
+        ++i_;
+        ++col_;
+      }
+    }
+    out_.comments.push_back(Comment{src_.substr(start, end - start), line});
+  }
+
+  /// One logical preprocessor line: backslash-newline continuations are
+  /// consumed; a trailing // comment is left for the comment lexer so
+  /// annotations on #-lines still work.
+  void lex_preprocessor() {
+    const int line = line_;
+    const int col = col_;
+    const std::size_t start = i_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      if (c == '\\' && peek(1) == '\n') {
+        i_ += 1;  // consume the backslash; advance_line eats the newline
+        advance_line();
+        at_line_start_ = false;
+        continue;
+      }
+      if (c == '\n') break;
+      ++i_;
+      ++col_;
+    }
+    emit(TokenKind::kPreprocessor, src_.substr(start, i_ - start), line, col);
+  }
+
+  void lex_quoted(char quote, TokenKind kind) {
+    const int line = line_;
+    const int col = col_;
+    const std::size_t start = i_;
+    ++i_;
+    ++col_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && i_ + 1 < src_.size()) {
+        if (peek(1) == '\n') {
+          ++i_;
+          advance_line();
+          at_line_start_ = false;
+        } else {
+          i_ += 2;
+          col_ += 2;
+        }
+        continue;
+      }
+      if (c == '\n') {  // unterminated literal: stop at end of line
+        break;
+      }
+      ++i_;
+      ++col_;
+      if (c == quote) break;
+    }
+    emit(kind, src_.substr(start, i_ - start), line, col);
+  }
+
+  void lex_string() { lex_quoted('"', TokenKind::kString); }
+  void lex_char() { lex_quoted('\'', TokenKind::kCharLiteral); }
+
+  /// i_ points at the opening '"' of R"delim( ... )delim".
+  void lex_raw_string(int line, int col, std::size_t prefix_start) {
+    ++i_;
+    ++col_;
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(' && src_[i_] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(src_[i_]);
+      ++i_;
+      ++col_;
+    }
+    const std::string close = ")" + delim + "\"";
+    while (i_ < src_.size()) {
+      if (src_[i_] == ')' && src_.compare(i_, close.size(), close) == 0) {
+        i_ += close.size();
+        col_ += static_cast<int>(close.size());
+        break;
+      }
+      if (src_[i_] == '\n') {
+        advance_line();
+        at_line_start_ = false;
+      } else {
+        ++i_;
+        ++col_;
+      }
+    }
+    emit(TokenKind::kString, src_.substr(prefix_start, i_ - prefix_start),
+         line, col);
+  }
+
+  void lex_identifier() {
+    const int line = line_;
+    const int col = col_;
+    const std::size_t start = i_;
+    while (i_ < src_.size() && ident_char(src_[i_])) {
+      ++i_;
+      ++col_;
+    }
+    std::string text = src_.substr(start, i_ - start);
+    if (i_ < src_.size() && src_[i_] == '"') {
+      if (raw_string_prefix(text)) {
+        lex_raw_string(line, col, start);
+        return;
+      }
+      if (text == "u8" || text == "u" || text == "U" || text == "L") {
+        lex_string();  // encoding-prefixed ordinary string
+        out_.tokens.back().line = line;
+        out_.tokens.back().col = col;
+        out_.tokens.back().text = text + out_.tokens.back().text;
+        return;
+      }
+    }
+    emit(TokenKind::kIdentifier, std::move(text), line, col);
+  }
+
+  void lex_number() {
+    const int line = line_;
+    const int col = col_;
+    const std::size_t start = i_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+          (peek(1) == '+' || peek(1) == '-')) {
+        i_ += 2;
+        col_ += 2;
+        continue;
+      }
+      if (ident_char(c) || c == '.' ||
+          (c == '\'' && ident_char(peek(1)))) {  // digit separator
+        ++i_;
+        ++col_;
+        continue;
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, src_.substr(start, i_ - start), line, col);
+  }
+
+  void lex_punct() {
+    const int line = line_;
+    const int col = col_;
+    for (const char* p : kPuncts3) {
+      if (src_.compare(i_, 3, p) == 0) {
+        i_ += 3;
+        col_ += 3;
+        emit(TokenKind::kPunct, p, line, col);
+        return;
+      }
+    }
+    for (const char* p : kPuncts2) {
+      if (src_.compare(i_, 2, p) == 0) {
+        i_ += 2;
+        col_ += 2;
+        emit(TokenKind::kPunct, p, line, col);
+        return;
+      }
+    }
+    emit(TokenKind::kPunct, std::string(1, src_[i_]), line, col);
+    ++i_;
+    ++col_;
+  }
+
+  const std::string& src_;
+  LexedFile out_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& path, const std::string& content) {
+  return Lexer(path, content).run();
+}
+
+}  // namespace vlsipart::analysis

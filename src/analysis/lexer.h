@@ -1,0 +1,25 @@
+// C++ lexer for vpart_lint.
+//
+// Scope: enough of the C++ lexical grammar to never confuse code with
+// non-code.  Handled correctly: // and /* */ comments (comments are
+// captured, not discarded — annotations live there), string and char
+// literals with escapes, raw string literals R"delim(...)delim" with
+// encoding prefixes, preprocessor logical lines (backslash
+// continuations joined into one token), digit separators and exponents
+// in numeric literals, and the multi-character punctuators rules need
+// ("::", "->", "+=", ...).  Not a parser: no templates, no name lookup
+// — rules work on token patterns (see DESIGN.md §12 for the limits).
+#pragma once
+
+#include <string>
+
+#include "src/analysis/token.h"
+
+namespace vlsipart::analysis {
+
+/// Tokenize `content` as C++.  Never fails: bytes that fit nothing
+/// (stray backslashes, unterminated literals at EOF) become single-char
+/// punct tokens or terminate the literal at end of input.
+LexedFile lex(const std::string& path, const std::string& content);
+
+}  // namespace vlsipart::analysis

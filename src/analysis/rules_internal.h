@@ -1,0 +1,50 @@
+// Internal interface between the analyzer driver and the rule passes.
+// Not installed; include only from src/analysis/ sources and tests that
+// exercise individual passes.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/finding.h"
+#include "src/analysis/token.h"
+
+namespace vlsipart::analysis {
+
+struct FileUnit {
+  LexedFile lexed;
+  bool linted = true;  ///< false = context only (cross-file facts)
+};
+
+/// Everything one analysis run can see: lexed C++ units (linted and
+/// context) plus raw documentation text for the knob rule.
+struct Corpus {
+  std::vector<FileUnit> units;
+  std::vector<SourceBuffer> docs;
+};
+
+struct RuleFilter {
+  std::set<std::string> only;  ///< empty = all rules enabled
+  bool enabled(const char* id) const {
+    return only.empty() || only.count(id) != 0;
+  }
+};
+
+/// True when `path` is `prefix` itself or lies underneath it.
+bool path_under(const std::string& path, const std::string& prefix);
+
+/// Per-file token rules: the determinism family.
+void run_determinism_rules(const FileUnit& unit, const RuleFilter& filter,
+                           std::vector<Finding>& out);
+
+/// Cross-file knob-completeness pass over the whole corpus.
+void run_knob_rule(const Corpus& corpus, const RuleFilter& filter,
+                   std::vector<Finding>& out);
+
+/// Lockset-lite lock-discipline pass over the whole corpus.
+void run_lock_rule(const Corpus& corpus, const RuleFilter& filter,
+                   std::vector<Finding>& out);
+
+}  // namespace vlsipart::analysis

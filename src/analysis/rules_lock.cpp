@@ -1,0 +1,295 @@
+// Lock-discipline rule: lockset-lite checking for the concurrent
+// service layer (src/service/) and the thread pool (src/util/
+// thread_pool).
+//
+// Contract: a field annotated
+//     Type field_;  // guarded_by(some_mutex_)
+// (annotation on the declaration line or the line directly above) may
+// only be accessed at points where a textually enclosing scope holds a
+// std::lock_guard / std::unique_lock / std::scoped_lock of that mutex.
+// Helper functions that run with the lock already held declare it with
+// a comment inside the function body:
+//     // det-lint: holds(some_mutex_)
+//
+// "Lite" means token-positional, not path-sensitive; the documented
+// limitations (DESIGN.md §12):
+//   * unlock()/relock on a unique_lock is invisible — the lock is
+//     assumed held until its scope ends (condition-variable waits are
+//     therefore fine);
+//   * matching is by mutex *name*; a member access like shared.mutex
+//     matches an annotation guarded_by(mutex) by its last segment;
+//   * annotations bind to field *names* within one header/source pair
+//     (X.h + X.cpp), so same-named fields of two classes in one pair
+//     share their annotation.
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/rules_internal.h"
+
+namespace vlsipart::analysis {
+
+namespace {
+
+bool in_lock_scope(const std::string& path) {
+  return path_under(path, "src/service") ||
+         path_under(path, "src/util/thread_pool.h") ||
+         path_under(path, "src/util/thread_pool.cpp");
+}
+
+/// "src/service/server.cpp" -> "src/service/server".
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
+/// Last '.'-or-'->'-separated segment of a mutex spec:
+/// "shared.mutex" -> "mutex", "mutex_" -> "mutex_".
+std::string last_segment(const std::string& spec) {
+  std::size_t pos = spec.size();
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    if (spec[i] == '.' ||
+        (spec[i] == '>' && i > 0 && spec[i - 1] == '-')) {
+      pos = i + 1;
+    }
+  }
+  return pos < spec.size() ? spec.substr(pos) : spec;
+}
+
+bool mutex_matches(const std::string& held, const std::string& required) {
+  return held == required || last_segment(held) == last_segment(required);
+}
+
+/// Parse "directive(arg)" occurrences of `directive` in comment text.
+std::vector<std::string> directive_args(const std::string& text,
+                                        const std::string& directive) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = text.find(directive, pos)) != std::string::npos) {
+    std::size_t i = pos + directive.size();
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    if (i < text.size() && text[i] == '(') {
+      const std::size_t close = text.find(')', i);
+      if (close != std::string::npos) {
+        std::string arg = text.substr(i + 1, close - i - 1);
+        // trim
+        while (!arg.empty() && (arg.front() == ' ' || arg.front() == '\t')) {
+          arg.erase(arg.begin());
+        }
+        while (!arg.empty() && (arg.back() == ' ' || arg.back() == '\t')) {
+          arg.pop_back();
+        }
+        if (!arg.empty()) out.push_back(arg);
+      }
+    }
+    pos += directive.size();
+  }
+  return out;
+}
+
+bool is_lock_holder_type(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock";
+}
+
+struct GuardedField {
+  std::string mutex;
+};
+
+/// (path, line) pairs that are annotation/declaration sites, exempt
+/// from access checking.  A field name may be annotated in several
+/// classes of one header (e.g. two caches with the same member names),
+/// so this is a set, not one site per field.
+using DeclSites = std::set<std::pair<std::string, int>>;
+
+/// Field name declared on `line` of `file`: the last identifier before
+/// the first '=', '{' or ';' among that line's tokens.
+bool field_name_on_line(const LexedFile& file, int line, std::string* name) {
+  std::size_t last_ident = file.tokens.size();
+  for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+    const Token& t = file.tokens[i];
+    if (t.line != line) continue;
+    if (t.is_punct("=") || t.is_punct("{") || t.is_punct(";")) break;
+    if (t.kind == TokenKind::kIdentifier) last_ident = i;
+  }
+  if (last_ident >= file.tokens.size()) return false;
+  *name = file.tokens[last_ident].text;
+  return true;
+}
+
+/// guarded_by annotations of one file: field name -> guard info.
+void collect_guards(const LexedFile& file,
+                    std::map<std::string, GuardedField>& guards,
+                    DeclSites& decl_sites) {
+  for (const Comment& c : file.comments) {
+    for (const std::string& mutex : directive_args(c.text, "guarded_by")) {
+      std::string name;
+      // Trailing comment on the declaration line, or a standalone
+      // comment on the line above the declaration.
+      if (field_name_on_line(file, c.line, &name)) {
+        guards[name] = GuardedField{mutex};
+        decl_sites.insert({file.path, c.line});
+      } else if (field_name_on_line(file, c.line + 1, &name)) {
+        guards[name] = GuardedField{mutex};
+        decl_sites.insert({file.path, c.line + 1});
+      }
+    }
+  }
+}
+
+class LockPass {
+ public:
+  LockPass(const LexedFile& file,
+           const std::map<std::string, GuardedField>& guards,
+           const DeclSites& decl_sites, const RuleFilter& filter,
+           std::vector<Finding>& out)
+      : file_(file),
+        guards_(guards),
+        decl_sites_(decl_sites),
+        filter_(filter),
+        out_(out) {
+    for (const Comment& c : file.comments) {
+      for (const std::string& m : directive_args(c.text, "holds")) {
+        holds_.emplace_back(c.line, m);
+      }
+    }
+  }
+
+  void run() {
+    const std::vector<Token>& T = file_.tokens;
+    std::size_t next_hold = 0;
+    for (std::size_t i = 0; i < T.size(); ++i) {
+      const Token& t = T[i];
+      while (next_hold < holds_.size() &&
+             holds_[next_hold].first <= t.line) {
+        locks_.emplace_back(depth_, holds_[next_hold].second);
+        ++next_hold;
+      }
+      if (t.is_punct("{")) {
+        ++depth_;
+        continue;
+      }
+      if (t.is_punct("}")) {
+        --depth_;
+        while (!locks_.empty() && locks_.back().first > depth_) {
+          locks_.pop_back();
+        }
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier && is_lock_holder_type(t.text)) {
+        record_lock_acquisition(i);
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier) check_access(i);
+    }
+  }
+
+ private:
+  /// T[i] is lock_guard/unique_lock/scoped_lock.  Skip the template
+  /// argument list and the holder's name, then record every mutex
+  /// argument of the constructor call.
+  void record_lock_acquisition(std::size_t i) {
+    const std::vector<Token>& T = file_.tokens;
+    std::size_t j = i + 1;
+    if (j < T.size() && T[j].is_punct("<")) {
+      int depth = 0;
+      for (; j < T.size(); ++j) {
+        if (T[j].is_punct("<")) ++depth;
+        if (T[j].is_punct(">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (j < T.size() && T[j].kind == TokenKind::kIdentifier) ++j;
+    if (j >= T.size() || !T[j].is_punct("(")) return;
+    // Arguments: identifiers joined by '.'/'->'/'::', split on ','.
+    std::string current;
+    int depth = 1;
+    for (++j; j < T.size() && depth > 0; ++j) {
+      if (T[j].is_punct("(")) ++depth;
+      if (T[j].is_punct(")")) {
+        if (--depth == 0) break;
+      }
+      if (depth == 1 && T[j].is_punct(",")) {
+        push_lock(current);
+        current.clear();
+        continue;
+      }
+      if (T[j].kind == TokenKind::kIdentifier || T[j].is_punct(".") ||
+          T[j].is_punct("->") || T[j].is_punct("::")) {
+        current += T[j].text;
+      }
+    }
+    push_lock(current);
+  }
+
+  void push_lock(const std::string& spec) {
+    if (!spec.empty()) locks_.emplace_back(depth_, spec);
+  }
+
+  void check_access(std::size_t i) {
+    const std::vector<Token>& T = file_.tokens;
+    const auto it = guards_.find(T[i].text);
+    if (it == guards_.end()) return;
+    const GuardedField& g = it->second;
+    // The declaration itself is not a use.
+    if (decl_sites_.count({file_.path, T[i].line}) != 0) return;
+    for (const auto& [d, held] : locks_) {
+      (void)d;
+      if (mutex_matches(held, g.mutex)) return;
+    }
+    if (!filter_.enabled("lock-discipline")) return;
+    out_.push_back(Finding{
+        file_.path, T[i].line, T[i].col, "lock-discipline",
+        "field '" + T[i].text + "' (guarded_by " + g.mutex +
+            ") accessed without holding " + g.mutex +
+            " — wrap the access in a lock_guard/unique_lock scope or mark "
+            "the function '// det-lint: holds(" + g.mutex + ")'"});
+  }
+
+  const LexedFile& file_;
+  const std::map<std::string, GuardedField>& guards_;
+  const DeclSites& decl_sites_;
+  const RuleFilter& filter_;
+  std::vector<Finding>& out_;
+  std::vector<std::pair<int, std::string>> locks_;  // (decl depth, mutex)
+  std::vector<std::pair<int, std::string>> holds_;  // (line, mutex)
+  int depth_ = 0;
+};
+
+}  // namespace
+
+void run_lock_rule(const Corpus& corpus, const RuleFilter& filter,
+                   std::vector<Finding>& out) {
+  if (!filter.enabled("lock-discipline")) return;
+
+  // Group in-scope files by stem so X.h annotations govern X.cpp.
+  std::map<std::string, std::vector<const FileUnit*>> groups;
+  for (const FileUnit& unit : corpus.units) {
+    if (in_lock_scope(unit.lexed.path)) {
+      groups[stem_of(unit.lexed.path)].push_back(&unit);
+    }
+  }
+  for (const auto& [stem, units] : groups) {
+    (void)stem;
+    std::map<std::string, GuardedField> guards;
+    DeclSites decl_sites;
+    for (const FileUnit* unit : units) {
+      collect_guards(unit->lexed, guards, decl_sites);
+    }
+    if (guards.empty()) continue;
+    for (const FileUnit* unit : units) {
+      if (!unit->linted) continue;
+      LockPass(unit->lexed, guards, decl_sites, filter, out).run();
+    }
+  }
+}
+
+}  // namespace vlsipart::analysis

@@ -1,0 +1,54 @@
+// Token model for the in-repo C++ static analyzer (vpart_lint).
+//
+// The regex lint this subsystem replaces could not see token boundaries:
+// a rule keyword inside a string literal, a comment, or a preprocessor
+// line tripped it exactly like real code.  The lexer produces a stream
+// of *code* tokens (identifiers, numbers, literals, punctuation,
+// whole preprocessor lines) plus a separate comment list, so rules match
+// only against code and annotations are read only from comments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlsipart::analysis {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier = 0,
+  kNumber = 1,
+  kString = 2,        ///< string literal, including raw strings
+  kCharLiteral = 3,
+  kPunct = 4,
+  kPreprocessor = 5,  ///< one whole logical #-line (continuations joined)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based
+  int col = 0;   ///< 1-based
+
+  bool is_ident(const char* s) const {
+    return kind == TokenKind::kIdentifier && text == s;
+  }
+  bool is_punct(const char* s) const {
+    return kind == TokenKind::kPunct && text == s;
+  }
+};
+
+/// One comment (// to end of line, or /* ... */ possibly spanning
+/// lines).  `line` is the line the comment *starts* on — lint
+/// annotations inside a multi-line block comment attach there.
+struct Comment {
+  std::string text;  ///< contents without the comment markers
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;  ///< repo-relative POSIX path when under the root
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+}  // namespace vlsipart::analysis

@@ -43,7 +43,11 @@ struct CoarsenConfig {
   /// class nets carry no clustering signal and are expensive to scan).
   std::size_t max_rated_net_size = 64;
   /// If true, only merge vertices currently in the same part — the
-  /// restricted coarsening used by V-cycling [25][26].
+  /// restricted coarsening used by V-cycling [25][26].  Not a CLI knob:
+  /// vcycle() sets it internally when re-coarsening around an existing
+  /// solution, and flipping it from a flag would silently build
+  /// hierarchies inconsistent with that solution.
+  // det-lint: allow(knob-completeness)
   bool respect_parts = false;
 };
 

@@ -87,6 +87,7 @@ std::shared_ptr<const CachedInstance> InstanceCache::get(
 }
 
 void InstanceCache::evict_locked() {
+  // det-lint: holds(mutex_) — the _locked suffix is the contract.
   while (true) {
     std::size_t ready = 0;
     auto oldest = entries_.end();

@@ -65,10 +65,10 @@ class InstanceCache {
 
   std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
-  std::uint64_t use_counter_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::map<std::string, Entry> entries_;  // guarded_by(mutex_)
+  std::uint64_t use_counter_ = 0;         // guarded_by(mutex_)
+  std::uint64_t hits_ = 0;                // guarded_by(mutex_)
+  std::uint64_t misses_ = 0;              // guarded_by(mutex_)
 };
 
 struct CachedResult {
@@ -96,10 +96,10 @@ class ResultCache {
 
   std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::map<std::uint64_t, Entry> entries_;
-  std::uint64_t use_counter_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::map<std::uint64_t, Entry> entries_;  // guarded_by(mutex_)
+  std::uint64_t use_counter_ = 0;           // guarded_by(mutex_)
+  std::uint64_t hits_ = 0;                  // guarded_by(mutex_)
+  std::uint64_t misses_ = 0;                // guarded_by(mutex_)
 };
 
 }  // namespace vlsipart::service

@@ -2,8 +2,8 @@
 //
 // Everything here is monitoring-only — numbers reported by `stats` and
 // the periodic log line — and never feeds back into partitioning
-// decisions, so wall-clock readings are allowed (see
-// tools/determinism_lint.py, rule "wall-clock").
+// decisions, so wall-clock readings are allowed (see the vpart_lint
+// rule "wall-clock", DESIGN.md §12).
 #pragma once
 
 #include <cstdint>
@@ -54,7 +54,7 @@ class ServiceMetrics {
 
  private:
   mutable std::mutex mutex_;
-  MetricsSnapshot data_;
+  MetricsSnapshot data_;  // guarded_by(mutex_)
 };
 
 }  // namespace vlsipart::service

@@ -607,6 +607,7 @@ void PartitionService::worker_driver(std::size_t slot) {
 }
 
 void PartitionService::prune_jobs_locked() {
+  // det-lint: holds(jobs_mutex_) — the _locked suffix is the contract.
   // Bound the registry: drop the oldest *terminal* jobs once the map
   // grows past 4096 entries (ids are monotone, so begin() is oldest).
   constexpr std::size_t kMaxJobs = 4096;

@@ -125,16 +125,16 @@ class PartitionService {
   // Job queue + registry.
   mutable std::mutex jobs_mutex_;
   std::condition_variable jobs_cv_;
-  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
-  std::deque<std::shared_ptr<Job>> queue_;
-  std::uint64_t next_job_id_ = 1;
-  std::size_t admitted_ = 0;  // queued + running
-  bool workers_stop_ = false;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;  // guarded_by(jobs_mutex_)
+  std::deque<std::shared_ptr<Job>> queue_;              // guarded_by(jobs_mutex_)
+  std::uint64_t next_job_id_ = 1;                       // guarded_by(jobs_mutex_)
+  std::size_t admitted_ = 0;  // queued + running          guarded_by(jobs_mutex_)
+  bool workers_stop_ = false;  // guarded_by(jobs_mutex_)
 
   std::unique_ptr<ThreadPool> pool_;
 
   mutable std::mutex conns_mutex_;
-  std::list<std::unique_ptr<Connection>> conns_;
+  std::list<std::unique_ptr<Connection>> conns_;  // guarded_by(conns_mutex_)
 
   InstanceCache instances_;
   ResultCache results_;

@@ -75,13 +75,16 @@ void ThreadPool::parallel_for_dynamic(
   struct Shared {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
+    std::exception_ptr error;  // guarded_by(mutex)
     std::mutex mutex;
     std::condition_variable done_cv;
-    std::size_t drivers_left = 0;
+    std::size_t drivers_left = 0;  // guarded_by(mutex)
   };
   Shared shared;
   const std::size_t drivers = std::min(num_threads(), n);
+  // Published to the driver tasks only by the submit() calls below,
+  // which synchronize through the pool mutex.
+  // det-lint: allow(lock-discipline)
   shared.drivers_left = drivers;
 
   for (std::size_t w = 0; w < drivers; ++w) {

@@ -71,12 +71,12 @@ class ThreadPool {
   void worker_loop(std::size_t slot);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void(std::size_t)>> queue_;
+  std::deque<std::function<void(std::size_t)>> queue_;  // guarded_by(mutex_)
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::size_t active_ = 0;  // guarded_by(mutex_)
+  bool stop_ = false;       // guarded_by(mutex_)
 };
 
 }  // namespace vlsipart

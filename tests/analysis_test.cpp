@@ -1,0 +1,739 @@
+// vpart_lint analyzer tests: lexer behavior, a fixture corpus with a
+// firing / suppressed / clean case for every rule, false-positive
+// regressions for the keyword-in-string/comment class the regex lint
+// had, baseline semantics, output renderers, and a self-test that lints
+// the repository's own sources (the acceptance gate: the repo is
+// clean).
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/analyzer.h"
+#include "src/analysis/finding.h"
+#include "src/analysis/lexer.h"
+#include "src/analysis/output.h"
+
+namespace vlsipart::analysis {
+namespace {
+
+AnalysisResult lint(const std::string& path, const std::string& code,
+                    const std::vector<SourceBuffer>& context = {}) {
+  AnalyzerOptions options;
+  return analyze_buffers({SourceBuffer{path, code}}, context, options);
+}
+
+std::size_t count_rule(const AnalysisResult& r, const std::string& rule) {
+  std::size_t n = 0;
+  for (const Finding& f : r.findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::string dump(const AnalysisResult& r) {
+  std::string out;
+  for (const Finding& f : r.findings) out += f.to_string() + "\n";
+  for (const std::string& e : r.errors) out += "error: " + e + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+
+TEST(Lexer, TokensCarryLineAndColumn) {
+  const LexedFile f = lex("a.cpp", "int x = 42;\nreturn x;\n");
+  ASSERT_GE(f.tokens.size(), 8u);
+  EXPECT_TRUE(f.tokens[0].is_ident("int"));
+  EXPECT_EQ(f.tokens[0].line, 1);
+  EXPECT_EQ(f.tokens[0].col, 1);
+  EXPECT_EQ(f.tokens[3].kind, TokenKind::kNumber);
+  EXPECT_TRUE(f.tokens[5].is_ident("return"));
+  EXPECT_EQ(f.tokens[5].line, 2);
+}
+
+TEST(Lexer, CommentsAreCapturedNotTokenized) {
+  const LexedFile f = lex("a.cpp",
+                          "int a; // trailing note\n"
+                          "/* block\n   spanning */ int b;\n");
+  ASSERT_EQ(f.comments.size(), 2u);
+  EXPECT_NE(f.comments[0].text.find("trailing note"), std::string::npos);
+  EXPECT_EQ(f.comments[0].line, 1);
+  EXPECT_EQ(f.comments[1].line, 2);  // block comment: start line
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "trailing");
+    EXPECT_NE(t.text, "spanning");
+  }
+}
+
+TEST(Lexer, StringAndCharLiteralsAreOpaque) {
+  const LexedFile f =
+      lex("a.cpp", "const char* s = \"rand() \\\" mt19937\"; char c = '\\'';");
+  std::size_t strings = 0;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokenKind::kString) ++strings;
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "mt19937");
+  }
+  EXPECT_EQ(strings, 1u);
+}
+
+TEST(Lexer, RawStringsAreOpaque) {
+  const LexedFile f = lex(
+      "a.cpp", "auto r = R\"x(rand() \")\" unordered_map<int,int>)x\"; int z;");
+  bool saw_z = false;
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "unordered_map");
+    if (t.is_ident("z")) saw_z = true;
+  }
+  EXPECT_TRUE(saw_z);  // lexing resumed correctly after the raw string
+}
+
+TEST(Lexer, PreprocessorLinesAreSingleTokens) {
+  const LexedFile f = lex("a.cpp",
+                          "#include <random>\n"
+                          "#define TWO \\\n  2\n"
+                          "int x;\n");
+  std::size_t pp = 0;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokenKind::kPreprocessor) ++pp;
+    EXPECT_NE(t.text, "random");
+  }
+  EXPECT_EQ(pp, 2u);  // the continuation line folds into one token
+}
+
+// ---------------------------------------------------------------------
+// Determinism rules: firing / suppressed / clean per rule
+
+TEST(RuleRand, Fires) {
+  const AnalysisResult r = lint("src/part/f.cpp", "int x = rand();\n");
+  EXPECT_EQ(count_rule(r, "rand"), 1u) << dump(r);
+}
+
+TEST(RuleRand, SuppressedByAllow) {
+  const AnalysisResult r = lint(
+      "src/part/f.cpp", "int x = rand();  // det-lint: allow(rand) why\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(RuleRand, CleanOnMemberAndNonCall) {
+  const AnalysisResult r = lint("src/part/f.cpp",
+                                "int a = gen.rand();\n"
+                                "int rand_count = 0;\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleRandomDevice, Fires) {
+  const AnalysisResult r =
+      lint("src/util/f.cpp", "std::random_device rd;\n");
+  EXPECT_EQ(count_rule(r, "random-device"), 1u) << dump(r);
+}
+
+TEST(RuleRandomDevice, SuppressedByAllowOnLineAbove) {
+  const AnalysisResult r = lint("src/util/f.cpp",
+                                "// det-lint: allow(random-device) why\n"
+                                "std::random_device rd;\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(RuleRandomDevice, CleanWhenOnlyNamedInComment) {
+  const AnalysisResult r =
+      lint("src/util/f.cpp", "// uses std::random_device? no.\nint x;\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleStdEngine, Fires) {
+  const AnalysisResult r = lint("src/part/f.cpp", "std::mt19937 gen(42);\n");
+  EXPECT_EQ(count_rule(r, "std-engine"), 1u) << dump(r);
+}
+
+TEST(RuleStdEngine, Suppressed) {
+  const AnalysisResult r = lint(
+      "src/part/f.cpp",
+      "std::mt19937 gen(42);  // det-lint: allow(std-engine) reference\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleStdEngine, CleanInStringLiteral) {
+  const AnalysisResult r =
+      lint("src/part/f.cpp", "const char* s = \"std::mt19937\";\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleTimeSeed, FiresOnTimeCallOnSeedLine) {
+  const AnalysisResult r =
+      lint("src/part/f.cpp", "auto seed = time(nullptr);\n");
+  EXPECT_EQ(count_rule(r, "time-seed"), 1u) << dump(r);
+}
+
+TEST(RuleTimeSeed, FiresOnClockNowSeed) {
+  const AnalysisResult r = lint(
+      "src/part/f.cpp",
+      "auto seed = Clock::now().time_since_epoch().count();\n");
+  EXPECT_EQ(count_rule(r, "time-seed"), 1u) << dump(r);
+  EXPECT_EQ(count_rule(r, "wall-clock"), 1u) << dump(r);  // both rules
+}
+
+TEST(RuleTimeSeed, Suppressed) {
+  const AnalysisResult r =
+      lint("src/part/f.cpp",
+           "// det-lint: allow(time-seed) test fixture\n"
+           "auto seed = time(nullptr);\n");
+  EXPECT_EQ(count_rule(r, "time-seed"), 0u) << dump(r);
+}
+
+TEST(RuleTimeSeed, CleanWhenSeedComesFromConfig) {
+  const AnalysisResult r =
+      lint("src/part/f.cpp", "auto seed = config.seed;\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleWallClock, Fires) {
+  const AnalysisResult r =
+      lint("src/util/f.cpp", "auto t = Clock::now();\n");
+  EXPECT_EQ(count_rule(r, "wall-clock"), 1u) << dump(r);
+}
+
+TEST(RuleWallClock, SuppressedListSyntax) {
+  const AnalysisResult r = lint(
+      "src/util/f.cpp",
+      "// det-lint: allow(wall-clock, time-seed) reporting only\n"
+      "auto t = Clock::now();\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(RuleWallClock, CleanOnPlainNowIdentifier) {
+  const AnalysisResult r = lint("src/util/f.cpp", "int now = 5; use(now);\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleUnorderedInCore, Fires) {
+  const AnalysisResult r =
+      lint("src/part/f.cpp", "std::unordered_map<int, int> m;\n");
+  EXPECT_EQ(count_rule(r, "unordered-in-core"), 1u) << dump(r);
+}
+
+TEST(RuleUnorderedInCore, Suppressed) {
+  const AnalysisResult r = lint(
+      "src/part/f.cpp",
+      "std::unordered_map<int, int> m;  // det-lint: "
+      "allow(unordered-in-core) never iterated\n");
+  EXPECT_EQ(count_rule(r, "unordered-in-core"), 0u) << dump(r);
+}
+
+TEST(RuleUnorderedInCore, CleanOutsideCoreDirs) {
+  const AnalysisResult r =
+      lint("src/util/f.cpp", "std::unordered_map<int, int> m;\n");
+  EXPECT_EQ(count_rule(r, "unordered-in-core"), 0u) << dump(r);
+}
+
+TEST(RuleUnorderedIter, Fires) {
+  const AnalysisResult r = lint("src/util/f.cpp",
+                                "std::unordered_set<int> items;\n"
+                                "void f() { for (int v : items) use(v); }\n");
+  EXPECT_EQ(count_rule(r, "unordered-iter"), 1u) << dump(r);
+}
+
+TEST(RuleUnorderedIter, Suppressed) {
+  const AnalysisResult r =
+      lint("src/util/f.cpp",
+           "std::unordered_set<int> items;\n"
+           "// det-lint: allow(unordered-iter) order-insensitive fold\n"
+           "void f() { for (int v : items) use(v); }\n");
+  EXPECT_EQ(count_rule(r, "unordered-iter"), 0u) << dump(r);
+}
+
+TEST(RuleUnorderedIter, CleanOverVector) {
+  const AnalysisResult r = lint("src/util/f.cpp",
+                                "std::vector<int> items;\n"
+                                "void f() { for (int v : items) use(v); }\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RulePointerSortKey, Fires) {
+  const AnalysisResult r = lint(
+      "src/part/f.cpp",
+      "void f(std::vector<Node*>& v) {\n"
+      "  std::sort(v.begin(), v.end(),\n"
+      "            [](const Node* a, const Node* b) { return a < b; });\n"
+      "}\n");
+  EXPECT_EQ(count_rule(r, "pointer-sort-key"), 1u) << dump(r);
+}
+
+TEST(RulePointerSortKey, Suppressed) {
+  const AnalysisResult r = lint(
+      "src/part/f.cpp",
+      "void f(std::vector<Node*>& v) {\n"
+      "  // det-lint: allow(pointer-sort-key) ids proven unique upstream\n"
+      "  std::sort(v.begin(), v.end(),\n"
+      "            [](const Node* a, const Node* b) { return a < b; });\n"
+      "}\n");
+  EXPECT_EQ(count_rule(r, "pointer-sort-key"), 0u) << dump(r);
+}
+
+TEST(RulePointerSortKey, CleanOnValueComparator) {
+  const AnalysisResult r = lint(
+      "src/part/f.cpp",
+      "void f(std::vector<int>& v) {\n"
+      "  std::sort(v.begin(), v.end(),\n"
+      "            [](const int a, const int b) { return a < b; });\n"
+      "}\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleFloatAccumulateUnordered, Fires) {
+  const AnalysisResult r = lint("src/util/f.cpp",
+                                "std::unordered_map<int, double> weights;\n"
+                                "double total = 0.0;\n"
+                                "void f() {\n"
+                                "  for (auto& kv : weights) {\n"
+                                "    total += kv.second;\n"
+                                "  }\n"
+                                "}\n");
+  EXPECT_EQ(count_rule(r, "float-accumulate-unordered"), 1u) << dump(r);
+}
+
+TEST(RuleFloatAccumulateUnordered, Suppressed) {
+  const AnalysisResult r =
+      lint("src/util/f.cpp",
+           "std::unordered_map<int, double> weights;\n"
+           "double total = 0.0;\n"
+           "void f() {\n"
+           "  for (auto& kv : weights) {\n"
+           "    // det-lint: allow(float-accumulate-unordered) stats only\n"
+           "    total += kv.second;\n"
+           "  }\n"
+           "}\n");
+  EXPECT_EQ(count_rule(r, "float-accumulate-unordered"), 0u) << dump(r);
+}
+
+TEST(RuleFloatAccumulateUnordered, CleanOnIntegerAccumulator) {
+  const AnalysisResult r = lint("src/util/f.cpp",
+                                "std::unordered_map<int, int> weights;\n"
+                                "long total = 0;\n"
+                                "void f() {\n"
+                                "  for (auto& kv : weights) {\n"
+                                "    total += kv.second;\n"
+                                "  }\n"
+                                "}\n");
+  EXPECT_EQ(count_rule(r, "float-accumulate-unordered"), 0u) << dump(r);
+}
+
+TEST(RulePointerKeyedContainer, Fires) {
+  const AnalysisResult r =
+      lint("src/hypergraph/f.cpp", "std::map<Node*, int> by_node;\n");
+  EXPECT_EQ(count_rule(r, "pointer-keyed-container"), 1u) << dump(r);
+}
+
+TEST(RulePointerKeyedContainer, Suppressed) {
+  const AnalysisResult r = lint(
+      "src/hypergraph/f.cpp",
+      "std::map<Node*, int> by_node;  // det-lint: "
+      "allow(pointer-keyed-container) never iterated, lookup only\n");
+  EXPECT_EQ(count_rule(r, "pointer-keyed-container"), 0u) << dump(r);
+}
+
+TEST(RulePointerKeyedContainer, CleanOnPointerValueAndOutsideCore) {
+  // Pointer in the *mapped* type is fine; pointer keys outside the core
+  // directories are out of scope.
+  const AnalysisResult in_core =
+      lint("src/part/f.cpp", "std::map<int, Node*> owners;\n");
+  EXPECT_EQ(in_core.findings.size(), 0u) << dump(in_core);
+  const AnalysisResult outside =
+      lint("src/util/f.cpp", "std::map<Node*, int> by_node;\n");
+  EXPECT_EQ(outside.findings.size(), 0u) << dump(outside);
+}
+
+TEST(RulePointerCompare, Fires) {
+  const AnalysisResult r = lint(
+      "src/eval/f.cpp",
+      "bool operator<(const Node* a, const Node* b) { return a < b; }\n");
+  EXPECT_EQ(count_rule(r, "pointer-compare"), 1u) << dump(r);
+}
+
+TEST(RulePointerCompare, Suppressed) {
+  const AnalysisResult r = lint(
+      "src/eval/f.cpp",
+      "// det-lint: allow(pointer-compare) arena-ordered by construction\n"
+      "bool operator<(const Node* a, const Node* b) { return a < b; }\n");
+  EXPECT_EQ(count_rule(r, "pointer-compare"), 0u) << dump(r);
+}
+
+TEST(RulePointerCompare, CleanOnReferencesAndStreams) {
+  const AnalysisResult r = lint(
+      "src/eval/f.cpp",
+      "bool operator<(const Node& a, const Node& b) { return a.id < b.id; }\n"
+      "std::ostream& operator<<(std::ostream& os, const Node* n);\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+// ---------------------------------------------------------------------
+// False-positive regressions: the regex lint flagged keywords inside
+// strings and comments; the token-level port must not.
+
+TEST(FalsePositives, KeywordsInCommentsAndStrings) {
+  const AnalysisResult r = lint(
+      "src/part/f.cpp",
+      "// rand() mt19937 random_device unordered_map<int,int> ::now()\n"
+      "/* for (int v : items) total += w; std::map<Node*, int> */\n"
+      "const char* help = \"use srand(time(nullptr)) to seed rand()\";\n"
+      "auto re = R\"(std::unordered_set<int> items; Clock::now())\";\n"
+      "int x = 0;\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(FalsePositives, AllowAnnotationForOtherRuleDoesNotSuppress) {
+  const AnalysisResult r = lint(
+      "src/part/f.cpp",
+      "int x = rand();  // det-lint: allow(wall-clock) wrong rule\n");
+  EXPECT_EQ(count_rule(r, "rand"), 1u) << dump(r);
+}
+
+// ---------------------------------------------------------------------
+// Knob completeness (synthetic corpus)
+
+const char* const kKnobStruct =
+    "struct FmConfig {\n"
+    "  int alpha = 1;\n"
+    "  bool beta = false;\n"
+    "  std::string to_string() const;\n"  // member function: not a field
+    "};\n"
+    "struct OtherConfig { int gamma = 0; };\n";  // not a target struct
+
+std::vector<SourceBuffer> knob_context(const std::string& tool_code,
+                                       const std::string& docs) {
+  return {SourceBuffer{"tools/fixture_tool.cpp", tool_code},
+          SourceBuffer{"DESIGN.md", docs}};
+}
+
+TEST(RuleKnobCompleteness, FiresOnUnreachableField) {
+  // alpha is parsed + documented; beta is documented but no CLI parse
+  // site ever touches it.
+  const AnalysisResult r = lint(
+      "src/part/core/knob_fixture.h", kKnobStruct,
+      knob_context("void f(FmConfig& c, const CliArgs& a) {\n"
+                   "  a.check_known({\"alpha\"});\n"
+                   "  c.alpha = a.get_int(\"alpha\", 1);\n"
+                   "}\n",
+                   "The alpha and beta knobs."));
+  EXPECT_EQ(count_rule(r, "knob-completeness"), 1u) << dump(r);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_NE(r.findings[0].message.find("FmConfig::beta"), std::string::npos);
+}
+
+TEST(RuleKnobCompleteness, FiresOnUndocumentedField) {
+  const AnalysisResult r = lint(
+      "src/part/core/knob_fixture.h", kKnobStruct,
+      knob_context("void f(FmConfig& c, const CliArgs& a) {\n"
+                   "  a.check_known({\"alpha\", \"beta\"});\n"
+                   "  c.alpha = a.get_int(\"alpha\", 1);\n"
+                   "  c.beta = a.get_bool(\"beta\");\n"
+                   "}\n",
+                   "Only alpha is documented."));
+  EXPECT_EQ(count_rule(r, "knob-completeness"), 1u) << dump(r);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_NE(r.findings[0].message.find("FmConfig::beta"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("DESIGN.md"), std::string::npos);
+}
+
+TEST(RuleKnobCompleteness, CleanWhenReachableAndDocumented) {
+  const AnalysisResult r = lint(
+      "src/part/core/knob_fixture.h", kKnobStruct,
+      knob_context("void f(FmConfig& c, const CliArgs& a) {\n"
+                   "  a.check_known({\"alpha\", \"beta\"});\n"
+                   "  c.alpha = a.get_int(\"alpha\", 1);\n"
+                   "  c.beta = a.get_bool(\"beta\");\n"
+                   "}\n",
+                   "The alpha and beta knobs."));
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleKnobCompleteness, MemberAccessWithoutParseSiteDoesNotCount) {
+  // The tool touches c.beta but never parses CLI options, so beta stays
+  // unreachable.
+  const AnalysisResult r =
+      lint("src/part/core/knob_fixture.h", kKnobStruct,
+           knob_context("void f(FmConfig& c) { c.alpha = 1; c.beta = true; }\n",
+                        "The alpha and beta knobs."));
+  EXPECT_EQ(count_rule(r, "knob-completeness"), 2u) << dump(r);
+}
+
+TEST(RuleKnobCompleteness, SuppressedByAllowOnFieldLine) {
+  const AnalysisResult r = lint(
+      "src/part/core/knob_fixture.h",
+      "struct FmConfig {\n"
+      "  int alpha = 1;\n"
+      "  // det-lint: allow(knob-completeness) internal-only switch\n"
+      "  bool beta = false;\n"
+      "};\n",
+      knob_context("void f(FmConfig& c, const CliArgs& a) {\n"
+                   "  a.check_known({\"alpha\"});\n"
+                   "  c.alpha = a.get_int(\"alpha\", 1);\n"
+                   "}\n",
+                   "The alpha knob."));
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(RuleKnobCompleteness, DocWordMatchIsWholeWord) {
+  // "alphabet" must not satisfy the documentation leg for "alpha".
+  const AnalysisResult r = lint(
+      "src/part/core/knob_fixture.h", "struct FmConfig { int alpha = 1; };\n",
+      knob_context("void f(FmConfig& c, const CliArgs& a) {\n"
+                   "  c.alpha = a.get_int(\"alpha\", 1);\n"
+                   "}\n",
+                   "The alphabet of knobs."));
+  EXPECT_EQ(count_rule(r, "knob-completeness"), 1u) << dump(r);
+}
+
+// ---------------------------------------------------------------------
+// Lock discipline (synthetic corpus)
+
+AnalysisResult lint_lock(const std::string& body) {
+  const std::string header =
+      "class Widget {\n"
+      " public:\n"
+      "  void touch();\n"
+      " private:\n"
+      "  std::mutex mutex_;\n"
+      "  int count_ = 0;  // guarded_by(mutex_)\n"
+      "};\n";
+  AnalyzerOptions options;
+  return analyze_buffers({SourceBuffer{"src/service/widget.h", header},
+                          SourceBuffer{"src/service/widget.cpp", body}},
+                         {}, options);
+}
+
+TEST(RuleLockDiscipline, FiresOnUnlockedAccess) {
+  const AnalysisResult r =
+      lint_lock("void Widget::touch() { count_ += 1; }\n");
+  EXPECT_EQ(count_rule(r, "lock-discipline"), 1u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, CleanUnderLockGuard) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::touch() {\n"
+      "  std::lock_guard<std::mutex> lock(mutex_);\n"
+      "  count_ += 1;\n"
+      "}\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, CleanUnderUniqueAndScopedLock) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::touch() {\n"
+      "  std::unique_lock<std::mutex> lock(mutex_);\n"
+      "  count_ += 1;\n"
+      "}\n"
+      "void Widget::touch2() {\n"
+      "  std::scoped_lock lock(mutex_);\n"
+      "  count_ += 1;\n"
+      "}\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, LockScopeEndsAtBrace) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::touch() {\n"
+      "  { std::lock_guard<std::mutex> lock(mutex_); count_ = 1; }\n"
+      "  count_ = 2;\n"  // lock released with its scope
+      "}\n");
+  EXPECT_EQ(count_rule(r, "lock-discipline"), 1u) << dump(r);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings[0].line, 3);
+}
+
+TEST(RuleLockDiscipline, HoldsAnnotationCoversHelper) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::bump_locked() {\n"
+      "  // det-lint: holds(mutex_)\n"
+      "  count_ += 1;\n"
+      "}\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, MemberMutexMatchesBySuffix) {
+  // A lock of shared.mutex_ satisfies guarded_by(mutex_).
+  const AnalysisResult r = lint_lock(
+      "void Widget::touch(Shared& shared) {\n"
+      "  std::lock_guard<std::mutex> lock(shared.mutex_);\n"
+      "  count_ += 1;\n"
+      "}\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, WrongMutexDoesNotSatisfy) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::touch() {\n"
+      "  std::lock_guard<std::mutex> lock(other_mutex_);\n"
+      "  count_ += 1;\n"
+      "}\n");
+  EXPECT_EQ(count_rule(r, "lock-discipline"), 1u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, SuppressedByAllow) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::init() {\n"
+      "  // det-lint: allow(lock-discipline) pre-publication init\n"
+      "  count_ = 0;\n"
+      "}\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(RuleLockDiscipline, OutOfScopeDirsAreIgnored) {
+  AnalyzerOptions options;
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/widget.h",
+                    "class W { int count_ = 0;  // guarded_by(mutex_)\n};\n"},
+       SourceBuffer{"src/part/widget.cpp",
+                    "void W::touch() { count_ += 1; }\n"}},
+      {}, options);
+  EXPECT_EQ(count_rule(r, "lock-discipline"), 0u) << dump(r);
+}
+
+// ---------------------------------------------------------------------
+// Baseline
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(Baseline, SilencesRulePathPairs) {
+  AnalyzerOptions options;
+  options.baseline_path = write_temp(
+      "vpart_lint_baseline_ok.txt",
+      "# comment\n\nrand|src/part/f.cpp|fixture retained during port\n");
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/f.cpp", "int x = rand();\n"}}, {}, options);
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+  EXPECT_EQ(r.baselined, 1u);
+}
+
+TEST(Baseline, OtherFilesStillFire) {
+  AnalyzerOptions options;
+  options.baseline_path =
+      write_temp("vpart_lint_baseline_other.txt",
+                 "rand|src/part/other.cpp|different file\n");
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/f.cpp", "int x = rand();\n"}}, {}, options);
+  EXPECT_EQ(count_rule(r, "rand"), 1u) << dump(r);
+  EXPECT_EQ(r.baselined, 0u);
+}
+
+TEST(Baseline, EntryWithoutJustificationIsAnError) {
+  AnalyzerOptions options;
+  options.baseline_path = write_temp("vpart_lint_baseline_nojust.txt",
+                                     "rand|src/part/f.cpp|\n");
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/f.cpp", "int x = 0;\n"}}, {}, options);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("justification"), std::string::npos);
+}
+
+TEST(Baseline, MalformedEntryAndUnknownRuleAreErrors) {
+  AnalyzerOptions options;
+  options.baseline_path =
+      write_temp("vpart_lint_baseline_bad.txt",
+                 "just-one-field\nno-such-rule|a.cpp|because\n");
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/f.cpp", "int x = 0;\n"}}, {}, options);
+  EXPECT_EQ(r.errors.size(), 2u) << dump(r);
+}
+
+TEST(Options, UnknownRuleFilterIsAnError) {
+  AnalyzerOptions options;
+  options.only_rules = {"rand", "bogus-rule"};
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/f.cpp", "int x = 0;\n"}}, {}, options);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("bogus-rule"), std::string::npos);
+}
+
+TEST(Options, RuleFilterRestrictsFindings) {
+  AnalyzerOptions options;
+  options.only_rules = {"std-engine"};
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/f.cpp",
+                    "int x = rand();\nstd::mt19937 gen(1);\n"}},
+      {}, options);
+  EXPECT_EQ(r.findings.size(), 1u) << dump(r);
+  EXPECT_EQ(r.findings[0].rule, "std-engine");
+}
+
+// ---------------------------------------------------------------------
+// Catalog and renderers
+
+TEST(Catalog, EveryRuleIsFindable) {
+  EXPECT_GE(rule_catalog().size(), 13u);
+  for (const RuleInfo& info : rule_catalog()) {
+    EXPECT_EQ(find_rule(info.id), &info);
+  }
+  EXPECT_EQ(find_rule("no-such-rule"), nullptr);
+}
+
+TEST(Renderers, HumanJsonSarif) {
+  const AnalysisResult r =
+      lint("src/part/f.cpp", "int x = rand();\nstd::mt19937 g(1);\n");
+  ASSERT_EQ(r.findings.size(), 2u) << dump(r);
+
+  const std::string human = render_human(r);
+  EXPECT_NE(human.find("src/part/f.cpp:1:9: [rand]"), std::string::npos)
+      << human;
+  EXPECT_NE(human.find("2 findings"), std::string::npos) << human;
+
+  const std::string json = render_json(r);
+  EXPECT_NE(json.find("\"rule\": \"rand\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos) << json;
+
+  const std::string sarif = render_sarif(r);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"std-engine\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+  // The full catalog rides along as reportingDescriptors.
+  EXPECT_NE(sarif.find("\"id\": \"lock-discipline\""), std::string::npos);
+}
+
+TEST(Renderers, FindingsAreSortedByPathLineCol) {
+  AnalyzerOptions options;
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/b.cpp", "int x = rand();\n"},
+       SourceBuffer{"src/part/a.cpp", "std::mt19937 g(1);\nint y = rand();\n"}},
+      {}, options);
+  ASSERT_EQ(r.findings.size(), 3u) << dump(r);
+  EXPECT_EQ(r.findings[0].path, "src/part/a.cpp");
+  EXPECT_EQ(r.findings[0].line, 1);
+  EXPECT_EQ(r.findings[1].path, "src/part/a.cpp");
+  EXPECT_EQ(r.findings[1].line, 2);
+  EXPECT_EQ(r.findings[2].path, "src/part/b.cpp");
+}
+
+// ---------------------------------------------------------------------
+// Repository self-test: the acceptance gate.  The repo's own sources
+// must lint clean — determinism, knob completeness (every config field
+// CLI-reachable and documented) and lock discipline all pass.
+
+TEST(RepoSelfTest, RepositoryLintsClean) {
+  AnalyzerOptions options;
+  options.repo_root = VLSIPART_SOURCE_DIR;
+  // Absolute paths: a relative "src" would resolve against the build
+  // tree (the test's cwd), which also has a src/ directory.
+  const std::string root = std::string(VLSIPART_SOURCE_DIR) + "/";
+  const AnalysisResult r = analyze_paths(
+      {root + "src", root + "tools", root + "bench", root + "examples"},
+      options);
+  EXPECT_TRUE(r.errors.empty()) << dump(r);
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+  EXPECT_GT(r.files_scanned, 100u);  // really scanned the tree
+  EXPECT_GT(r.suppressed, 0u);       // the annotated clock reads
+}
+
+}  // namespace
+}  // namespace vlsipart::analysis

@@ -1,287 +1,55 @@
 #!/usr/bin/env python3
-"""Determinism lint: reject constructs that break bit-identical results.
+"""DEPRECATED: determinism_lint.py is now a shim around vpart_lint.
 
-The repo promises bit-identical partitioning results for a fixed seed —
-across re-runs, thread counts, and platforms.  That guarantee is easy to
-lose silently: one `rand()` call, one hash-map iteration whose order
-feeds the algorithm, one pointer used as a sort key, and results become
-a function of the standard library, ASLR, or the wall clock.  This pass
-scans the C++ sources for the known offenders and fails the build when
-one appears outside an explicitly annotated exemption.
+The regex lint that lived here was retired in favor of
+``tools/vpart_lint``, a token-level C++ analyzer (see DESIGN.md §12)
+that covers the same eight determinism rules without the
+keyword-in-a-string/comment false-positive class, plus knob-completeness
+and lock-discipline checking.  This script remains only so existing
+invocations (CI configs, muscle memory) keep working: it locates the
+built binary and execs it with the same arguments and the same exit-code
+contract (0 clean, 1 findings, 2 usage error).
 
-Rules
------
-  rand              C library rand()/srand(): unseeded global state.
-  random-device     std::random_device: hardware entropy, never
-                    reproducible.
-  std-engine        std::mt19937 & friends: all randomness must flow
-                    through the explicitly seeded vlsipart::Rng.
-  time-seed         Seeding anything from the clock (time(), ::now(),
-                    clock()): ties results to the wall clock.
-  wall-clock        Any clock read (::now(), clock_gettime(),
-                    gettimeofday()).  Legitimate uses — timers for
-                    reporting, service deadlines/idle timeouts, stats
-                    cadence — must carry an annotation affirming the
-                    reading feeds only observability or admission
-                    policy, never a partitioning result.
-  unordered-in-core Any std::unordered_{map,set} in src/part/ or
-                    src/hypergraph/: the partitioning core must not
-                    depend on hash-bucket layout at all.
-  unordered-iter    Range-for over a variable declared as an unordered
-                    container anywhere in src/: iteration order is a
-                    property of the standard library, not the input.
-  pointer-sort-key  Sort comparators taking pointer parameters: pointer
-                    order is allocation order (ASLR-dependent).
-
-Exemptions: append ``// det-lint: allow(<rule>)`` to the offending line
-(or the line directly above it) with a short justification.
-
-Usage:
-  tools/determinism_lint.py [--list-rules] [paths...]   (default: src)
-
-Exit status: 0 = clean, 1 = findings, 2 = usage error.
+Set VPART_LINT to the binary path, or build it first:
+  cmake -B build -S . && cmake --build build --target vpart_lint
 """
 
-from __future__ import annotations
-
-import argparse
-import re
+import os
 import sys
-from pathlib import Path
-
-CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
-
-# Directories whose code is the deterministic partitioning core: the
-# unordered-in-core rule applies only here.
-CORE_DIRS = ("src/part", "src/hypergraph")
-
-ALLOW_RE = re.compile(r"//\s*det-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
-
-UNORDERED_DECL_RE = re.compile(
-    r"\bunordered_(?:multi)?(?:map|set)\s*<[^;{]*?>\s+(\w+)"
-)
-RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:()]*:\s*(\w+)\s*\)")
-SORT_CALL_RE = re.compile(
-    r"\bstd::(?:stable_)?sort\s*\(|\bstd::partial_sort\s*\(|\bstd::nth_element\s*\("
-)
-LAMBDA_PTR_PARAM_RE = re.compile(r"\[[^\]]*\]\s*\(([^)]*\*[^)]*)\)")
-
-SIMPLE_RULES = [
-    (
-        "rand",
-        re.compile(r"\b(?:std::)?s?rand\s*\("),
-        "C library rand()/srand() is global, unseeded, nondeterministic state",
-    ),
-    (
-        "random-device",
-        re.compile(r"\bstd::random_device\b"),
-        "std::random_device draws hardware entropy and is never reproducible",
-    ),
-    (
-        "std-engine",
-        re.compile(
-            r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
-            r"ranlux\w+|knuth_b)\b"
-        ),
-        "use the explicitly seeded vlsipart::Rng instead of <random> engines",
-    ),
-    (
-        "time-seed",
-        re.compile(
-            r"(?:\bseed|\bSeed|\breseed|\bRng\b)[^\n]*"
-            r"(?:::now\s*\(|\btime\s*\(|\bclock\s*\(|\bclock_gettime\s*\()"
-            r"|(?:::now\s*\(|\btime\s*\(|\bclock\s*\()[^\n]*"
-            r"(?:\bseed|\bSeed|\breseed|\bRng\b)"
-        ),
-        "seeding from the clock ties results to the wall clock",
-    ),
-    (
-        "wall-clock",
-        re.compile(r"::now\s*\(|\bclock_gettime\s*\(|\bgettimeofday\s*\("),
-        "wall-clock read: annotate to affirm timing feeds only "
-        "observability or admission policy (timers, deadlines, idle "
-        "timeouts), never a partitioning result",
-    ),
-]
 
 
-def strip_comments_and_strings(line: str) -> str:
-    """Blank out // comments and string/char literals so rule patterns
-    only match code.  (Block comments are handled by the caller.)"""
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c in "\"'":
-            quote = c
-            out.append(" ")
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    i += 1
-                    break
-                i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
+def find_binary(repo_root):
+    env = os.environ.get("VPART_LINT")
+    if env:
+        return env if os.path.isfile(env) else None
+    candidates = []
+    for entry in sorted(os.listdir(repo_root)):
+        d = os.path.join(repo_root, entry)
+        if entry.startswith("build") and os.path.isdir(d):
+            candidates.append(os.path.join(d, "tools", "vpart_lint"))
+    for path in candidates:
+        if os.path.isfile(path) and os.access(path, os.X_OK):
+            return path
+    return None
 
 
-class Finding:
-    def __init__(self, path: Path, line_no: int, rule: str, message: str):
-        self.path = path
-        self.line_no = line_no
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
-
-
-def allowed_rules(raw_lines: list[str], idx: int) -> set[str]:
-    """Rules exempted for line `idx` (same line or the line above)."""
-    rules: set[str] = set()
-    for probe in (idx, idx - 1):
-        if 0 <= probe < len(raw_lines):
-            m = ALLOW_RE.search(raw_lines[probe])
-            if m:
-                rules.update(r.strip() for r in m.group(1).split(","))
-    return rules
-
-
-def lint_file(path: Path, repo_root: Path) -> list[Finding]:
-    raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
-    rel = path.relative_to(repo_root).as_posix()
-    in_core = any(rel.startswith(d + "/") for d in CORE_DIRS)
-
-    # Pre-pass: blank block comments, then per-line comment/string strip.
-    code_lines: list[str] = []
-    in_block = False
-    for line in raw:
-        buf = []
-        i = 0
-        while i < len(line):
-            if in_block:
-                end = line.find("*/", i)
-                if end == -1:
-                    i = len(line)
-                else:
-                    in_block = False
-                    i = end + 2
-                continue
-            start = line.find("/*", i)
-            if start == -1:
-                buf.append(line[i:])
-                break
-            buf.append(line[i:start])
-            in_block = True
-            i = start + 2
-        code_lines.append(strip_comments_and_strings("".join(buf)))
-
-    findings: list[Finding] = []
-
-    def report(idx: int, rule: str, message: str) -> None:
-        if rule not in allowed_rules(raw, idx):
-            findings.append(Finding(path, idx + 1, rule, message))
-
-    unordered_vars: set[str] = set()
-    for idx, code in enumerate(code_lines):
-        for m in UNORDERED_DECL_RE.finditer(code):
-            unordered_vars.add(m.group(1))
-
-    for idx, code in enumerate(code_lines):
-        for rule, pattern, message in SIMPLE_RULES:
-            if pattern.search(code):
-                report(idx, rule, message)
-
-        if in_core and re.search(r"\bunordered_(?:multi)?(?:map|set)\b", code):
-            report(
-                idx,
-                "unordered-in-core",
-                "hash containers are banned in the partitioning core "
-                "(src/part, src/hypergraph): bucket layout is stdlib state",
-            )
-
-        m = RANGE_FOR_RE.search(code)
-        if m and m.group(1) in unordered_vars:
-            report(
-                idx,
-                "unordered-iter",
-                f"iterating unordered container '{m.group(1)}': order is a "
-                "property of the standard library, not the input",
-            )
-
-        if SORT_CALL_RE.search(code):
-            window = " ".join(code_lines[idx : idx + 6])
-            lam = LAMBDA_PTR_PARAM_RE.search(window)
-            if lam:
-                report(
-                    idx,
-                    "pointer-sort-key",
-                    "sort comparator takes pointer parameters; pointer order "
-                    "is allocation order (ASLR-dependent) — compare by id or "
-                    "value instead",
-                )
-
-    return findings
-
-
-def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("paths", nargs="*", default=["src"])
-    parser.add_argument(
-        "--list-rules", action="store_true", help="print rule names and exit"
-    )
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for rule in [r[0] for r in SIMPLE_RULES] + [
-            "unordered-in-core",
-            "unordered-iter",
-            "pointer-sort-key",
-        ]:
-            print(rule)
-        return 0
-
-    repo_root = Path(__file__).resolve().parent.parent
-    roots = [Path(p) for p in (args.paths or ["src"])]
-
-    files: list[Path] = []
-    for root in roots:
-        root = root if root.is_absolute() else repo_root / root
-        if root.is_file():
-            files.append(root)
-        elif root.is_dir():
-            files.extend(
-                p for p in sorted(root.rglob("*")) if p.suffix in CXX_SUFFIXES
-            )
-        else:
-            print(f"determinism_lint: no such path: {root}", file=sys.stderr)
-            return 2
-
-    findings: list[Finding] = []
-    for path in files:
-        findings.extend(lint_file(path, repo_root))
-
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(
-            f"determinism_lint: {len(findings)} finding(s) in "
-            f"{len(files)} file(s); annotate intentional uses with "
-            "'// det-lint: allow(<rule>)'",
-            file=sys.stderr,
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    binary = find_binary(repo_root)
+    if binary is None:
+        sys.stderr.write(
+            "determinism_lint.py is deprecated and now requires the C++ "
+            "analyzer.\nBuild it first:\n"
+            "  cmake -B build -S . && cmake --build build --target "
+            "vpart_lint\nor point VPART_LINT at the binary.\n"
         )
-        return 1
-    print(f"determinism_lint: clean ({len(files)} files scanned)")
-    return 0
+        return 2
+    sys.stderr.write(
+        "determinism_lint.py is deprecated; running %s\n" % binary
+    )
+    args = [binary, "--repo-root=" + repo_root] + sys.argv[1:]
+    os.execv(binary, args)
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main())

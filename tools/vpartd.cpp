@@ -14,6 +14,7 @@
 //   --queue 64             admission queue capacity (beyond = shed)
 //   --max-payload-mb 4     per-frame payload cap
 //   --idle-timeout-ms 30000  silent connections are closed
+//   --drain-grace-ms 2000  response flush window during graceful stop
 //   --stats-interval 0     seconds between stats log lines (0 = off)
 //   --instance-cache 8     resident built hypergraphs
 //   --result-cache 256     resident finished results
@@ -32,8 +33,8 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   try {
     args.check_known({"socket", "workers", "queue", "max-payload-mb",
-                      "idle-timeout-ms", "stats-interval", "instance-cache",
-                      "result-cache", "verbose"});
+                      "idle-timeout-ms", "drain-grace-ms", "stats-interval",
+                      "instance-cache", "result-cache", "verbose"});
     ServiceConfig config;
     std::string endpoint_error;
     if (!Endpoint::parse(args.get("socket", "unix:/tmp/vpartd.sock"),
@@ -49,6 +50,8 @@ int main(int argc, char** argv) {
                          << 20;
     config.idle_timeout_ms =
         static_cast<int>(args.get_int("idle-timeout-ms", 30000));
+    config.drain_grace_ms =
+        static_cast<int>(args.get_int("drain-grace-ms", 2000));
     config.stats_log_interval_s = args.get_double("stats-interval", 0.0);
     config.instance_cache_capacity =
         static_cast<std::size_t>(args.get_int("instance-cache", 8));
