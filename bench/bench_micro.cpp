@@ -5,11 +5,15 @@
 // runtime-regime conclusions.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "src/gen/netlist_gen.h"
 #include "src/part/core/fm_refiner.h"
 #include "src/part/core/gain_container.h"
 #include "src/part/core/initial.h"
 #include "src/part/ml/coarsen.h"
+#include "src/util/prefetch.h"
 
 namespace vlsipart {
 namespace {
@@ -114,6 +118,101 @@ void BM_FmDeltaGainLargeNets(benchmark::State& state) {
 }
 BENCHMARK(BM_FmDeltaGainLargeNets)->Unit(benchmark::kMillisecond);
 
+// Sparse-reset cost of the SoA gain container: a pass touches a handful
+// of buckets out of a key range sized for the max weighted degree, and
+// reset() must pay O(touched + contained), not O(key range).  The key
+// range here is deliberately huge (max_abs_key = 32768 -> 65537 buckets
+// per side) while only Arg(0) vertices are inserted; throughput is
+// reported per inserted vertex, so a reset secretly sweeping the bucket
+// array would crater the rate at the small Arg.
+void BM_GainBucketSparseReset(benchmark::State& state) {
+  const auto touched = static_cast<std::size_t>(state.range(0));
+  constexpr Gain kMaxAbsKey = 32768;
+  GainContainer c(touched, InsertOrder::kLifo);
+  Rng rng(7);
+  c.reset(kMaxAbsKey);  // first reset pays the full initialization
+  for (auto _ : state) {
+    for (VertexId v = 0; v < touched; ++v) {
+      const Gain key =
+          static_cast<Gain>((static_cast<Gain>(v) * 2654435761LL) %
+                            (2 * kMaxAbsKey + 1)) -
+          kMaxAbsKey;
+      c.insert(v, static_cast<PartId>(v & 1), key, rng);
+    }
+    c.reset(kMaxAbsKey);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(touched));
+}
+BENCHMARK(BM_GainBucketSparseReset)->Arg(64)->Arg(1024);
+
+// CSR pin-walk gather with and without software prefetch, modelling the
+// refiner's delta-gain inner loop on an ibm18-class instance: for each
+// net, gather the three per-vertex metadata streams the refiner reads
+// per pin (bucket slot, lock byte, part id).  Arg(0) = plain walk,
+// Arg(1) = prefetched walk with the refiner's gating (distance 8, nets
+// >= 16 pins only).  The combined per-vertex footprint exceeds L1/L2 so
+// the gathers genuinely miss; on hardware where they do not (or with a
+// compiler that ignores the hint) the two variants simply track.
+template <bool kPrefetch>
+std::int64_t pin_walk_sum(const Hypergraph& h,
+                          const std::vector<std::uint32_t>& bucket,
+                          const std::vector<std::uint8_t>& locked,
+                          const std::vector<PartId>& parts) {
+  constexpr std::size_t kDistance = 8;
+  constexpr std::size_t kMinPins = 16;
+  std::int64_t sum = 0;
+  for (std::size_t e = 0; e < h.num_edges(); ++e) {
+    const auto pins = h.pins(static_cast<EdgeId>(e));
+    if constexpr (kPrefetch) {
+      const std::size_t prefetch_end =
+          pins.size() >= kMinPins ? pins.size() - kDistance : 0;
+      for (std::size_t j = 0; j < pins.size(); ++j) {
+        if (j < prefetch_end) {
+          const VertexId ahead = pins[j + kDistance];
+          VP_PREFETCH_READ(&bucket[ahead]);
+          VP_PREFETCH_READ(&locked[ahead]);
+          VP_PREFETCH_READ(&parts[ahead]);
+        }
+        const VertexId v = pins[j];
+        sum += bucket[v] + locked[v] + parts[v];
+      }
+    } else {
+      for (const VertexId v : pins) {
+        sum += bucket[v] + locked[v] + parts[v];
+      }
+    }
+  }
+  return sum;
+}
+
+void BM_PinWalkPrefetch(benchmark::State& state) {
+  GenConfig cfg = preset("ibm18");
+  cfg.num_huge_nets = 16;
+  cfg.huge_net_span_fraction = 0.10;
+  static const Hypergraph h = generate_netlist(cfg);
+  Rng rng(11);
+  std::vector<std::uint32_t> bucket(h.num_vertices());
+  std::vector<std::uint8_t> locked(h.num_vertices());
+  std::vector<PartId> parts(h.num_vertices());
+  for (std::size_t v = 0; v < h.num_vertices(); ++v) {
+    bucket[v] = static_cast<std::uint32_t>(rng.below(1 << 16));
+    locked[v] = static_cast<std::uint8_t>(rng.below(2));
+    parts[v] = static_cast<PartId>(rng.below(2));
+  }
+  const bool prefetch = state.range(0) != 0;
+  std::int64_t pins_walked = 0;
+  for (auto _ : state) {
+    const std::int64_t sum = prefetch
+                                 ? pin_walk_sum<true>(h, bucket, locked, parts)
+                                 : pin_walk_sum<false>(h, bucket, locked, parts);
+    benchmark::DoNotOptimize(sum);
+    pins_walked += static_cast<std::int64_t>(h.num_pins());
+  }
+  state.SetItemsProcessed(pins_walked);
+}
+BENCHMARK(BM_PinWalkPrefetch)->Arg(0)->Arg(1);
+
 void BM_CoarsenOneLevel(benchmark::State& state) {
   const Hypergraph h = generate_netlist(preset("medium"));
   std::uint64_t seed = 0;
@@ -128,4 +227,24 @@ BENCHMARK(BM_CoarsenOneLevel)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace vlsipart
 
-BENCHMARK_MAIN();
+#ifndef VLSIPART_BUILD_TYPE
+#define VLSIPART_BUILD_TYPE "unknown"
+#endif
+#ifndef VLSIPART_CXX_FLAGS
+#define VLSIPART_CXX_FLAGS ""
+#endif
+
+// Custom main instead of BENCHMARK_MAIN(): stamp the *repository's*
+// build type and optimization flags into the JSON context.  The
+// library_build_type field google-benchmark emits describes how
+// libbenchmark itself was compiled (the system package is a debug
+// build), not this code — comparisons must key off vlsipart_build_type.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("vlsipart_build_type", VLSIPART_BUILD_TYPE);
+  benchmark::AddCustomContext("vlsipart_cxx_flags", VLSIPART_CXX_FLAGS);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

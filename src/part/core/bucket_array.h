@@ -1,0 +1,301 @@
+// Structure-of-arrays bucket-list kernel shared by the 2-way and k-way
+// FM refiners.
+//
+// Layout.  One flat id space holds both real vertices and bucket
+// sentinels:
+//
+//     id:      0 .. n-1                  n .. n + kGroups*stride - 1
+//              vertices                  one sentinel per bucket slot
+//
+// where stride = 2*max_abs_key + 1 buckets per group (group = FM side,
+// or the single k-way candidate pool) and slot (g, key) has flat index
+// g*stride + (key + max_abs_key).  `next_`/`prev_` are parallel arrays
+// over the whole id space; each bucket is a circular doubly-linked list
+// threaded through its sentinel, so an empty bucket is simply a
+// sentinel pointing at itself.  The only other per-vertex state is
+// `bucket_`, the flat slot a contained vertex currently occupies
+// (kNoSlot when absent) — key and group are derived from it, which
+// deletes the per-vertex key/side/contained arrays of the previous
+// node-based container and shrinks the hot per-vertex record to 12
+// bytes across three parallel arrays.
+//
+// The sentinel encoding makes the three hot operations branchless:
+//
+//     erase:       next[prev[v]] = next[v]; prev[next[v]] = prev[v]
+//     push_front:  splice v between sentinel and next[sentinel]
+//     push_back:   splice v between prev[sentinel] and sentinel
+//
+// No head/tail/empty tests anywhere — the sentinel is always a valid
+// neighbor.  Iteration from the head ends when the walk reaches an id
+// >= n (the sentinel), which `next()` maps back to kInvalidVertex.
+//
+// reset() is O(touched + contained), not O(key range): slots that
+// transitioned empty -> nonempty since the previous reset are recorded,
+// and resetting walks exactly those lists (clearing each member's
+// `bucket_` entry) and re-points their sentinels.  The key range is
+// O(max weighted degree), which with wide power-law edge weights dwarfs
+// the few hundred slots a pass actually uses.
+//
+// Max-key queries amortize over a per-group max cursor that only
+// descends between insertions (the classic FM bucket-array scheme).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/hypergraph/types.h"
+#include "src/util/logging.h"
+#include "src/util/prefetch.h"
+
+namespace vlsipart {
+
+template <int kGroups>
+class BucketArray {
+  static_assert(kGroups == 1 || kGroups == 2,
+                "BucketArray supports the single-pool (k-way) and "
+                "two-sided (2-way FM) shapes");
+
+ public:
+  static constexpr std::uint32_t kNoSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
+  explicit BucketArray(std::size_t num_vertices)
+      : n_(num_vertices), bucket_(num_vertices, kNoSlot) {}
+
+  /// Clear and size buckets for keys in [-max_abs_key, max_abs_key].
+  /// O(touched + contained) when the key range is unchanged.
+  void reset(Gain max_abs_key) {
+    VP_CHECK(max_abs_key >= 0, "key bound nonnegative");
+    max_abs_key_ = max_abs_key;
+    const auto stride = static_cast<std::size_t>(2 * max_abs_key + 1);
+    const std::size_t total = n_ + kGroups * stride;
+    VP_CHECK(total < static_cast<std::size_t>(kInvalidVertex),
+             "vertex + bucket-sentinel id space fits VertexId");
+    if (stride != stride_ || next_.size() != total) {
+      // First reset, or the key range changed: full (re)initialization.
+      // Vertex entries of next_/prev_ need no init — they are written
+      // before they are read (on push).
+      stride_ = stride;
+      next_.resize(total);
+      prev_.resize(total);
+      for (std::size_t s = n_; s < total; ++s) {
+        next_[s] = static_cast<VertexId>(s);
+        prev_[s] = static_cast<VertexId>(s);
+      }
+      std::fill(bucket_.begin(), bucket_.end(), kNoSlot);
+    } else {
+      // Sparse reset: only slots that went empty -> nonempty since the
+      // previous reset can hold vertices.  Walking their lists clears
+      // the membership of everything still contained, so no O(n) sweep
+      // of bucket_ is needed either.  A slot emptied and refilled
+      // within one pass may appear twice; the second walk sees an
+      // already-empty list.
+      for (const std::uint32_t flat : touched_) {
+        const auto s = static_cast<VertexId>(n_ + flat);
+        for (VertexId u = next_[s]; u != s; u = next_[u]) {
+          bucket_[u] = kNoSlot;
+        }
+        next_[s] = s;
+        prev_[s] = s;
+      }
+    }
+    touched_.clear();
+    for (int g = 0; g < kGroups; ++g) {
+      max_index_[g] = 0;
+      count_[g] = 0;
+    }
+  }
+
+  /// Insert v at the head of bucket (group, key).  v must be absent.
+  void push_front(VertexId v, int group, Gain key) {
+    const std::size_t idx = checked_index(v, key);
+    const auto flat = static_cast<std::uint32_t>(
+        static_cast<std::size_t>(group) * stride_ + idx);
+    const auto sent = static_cast<VertexId>(n_ + flat);
+    const VertexId head = next_[sent];
+    if (head == sent) touched_.push_back(flat);
+    bucket_[v] = flat;
+    ++count_[group];
+    next_[v] = head;
+    prev_[v] = sent;
+    prev_[head] = v;
+    next_[sent] = v;
+    max_index_[group] = std::max(max_index_[group], idx);
+  }
+
+  /// Insert v at the tail of bucket (group, key).  v must be absent.
+  void push_back(VertexId v, int group, Gain key) {
+    const std::size_t idx = checked_index(v, key);
+    const auto flat = static_cast<std::uint32_t>(
+        static_cast<std::size_t>(group) * stride_ + idx);
+    const auto sent = static_cast<VertexId>(n_ + flat);
+    const VertexId tail = prev_[sent];
+    if (tail == sent) touched_.push_back(flat);
+    bucket_[v] = flat;
+    ++count_[group];
+    prev_[v] = tail;
+    next_[v] = sent;
+    next_[tail] = v;
+    prev_[sent] = v;
+    max_index_[group] = std::max(max_index_[group], idx);
+  }
+
+  /// Remove v (must be contained).  Branchless splice.
+  void erase(VertexId v) {
+    VP_DCHECK(contains(v), "vertex contained before removal");
+    const VertexId a = prev_[v];
+    const VertexId b = next_[v];
+    next_[a] = b;
+    prev_[b] = a;
+    --count_[group_of(v)];
+    bucket_[v] = kNoSlot;
+  }
+
+  /// Move a contained vertex to the bucket of `new_key` within its
+  /// current group, placing it at the head (front) or tail.  Equivalent
+  /// to erase() + push_front/push_back, but writes each parallel array
+  /// once and leaves the group count untouched — the hot sequence of
+  /// every delta-gain update.
+  void move_to(VertexId v, Gain new_key, bool front) {
+    VP_DCHECK(contains(v), "vertex contained before move_to");
+    VP_DCHECK(new_key >= -max_abs_key_ && new_key <= max_abs_key_,
+              "key " << new_key << " within representable range "
+                     << max_abs_key_);
+    const int group = group_of(v);
+    const auto idx = static_cast<std::size_t>(new_key + max_abs_key_);
+    const auto flat = static_cast<std::uint32_t>(
+        static_cast<std::size_t>(group) * stride_ + idx);
+    const auto sent = static_cast<VertexId>(n_ + flat);
+    // Unlink first: v may already sit in the destination bucket, and the
+    // splice below must read the post-unlink head/tail.
+    const VertexId a = prev_[v];
+    const VertexId b = next_[v];
+    next_[a] = b;
+    prev_[b] = a;
+    if (front) {
+      const VertexId head = next_[sent];
+      if (head == sent) touched_.push_back(flat);
+      next_[v] = head;
+      prev_[v] = sent;
+      prev_[head] = v;
+      next_[sent] = v;
+    } else {
+      const VertexId tail = prev_[sent];
+      if (tail == sent) touched_.push_back(flat);
+      prev_[v] = tail;
+      next_[v] = sent;
+      next_[tail] = v;
+      prev_[sent] = v;
+    }
+    bucket_[v] = flat;
+    max_index_[group] = std::max(max_index_[group], idx);
+  }
+
+  bool contains(VertexId v) const { return bucket_[v] != kNoSlot; }
+
+  int group_of(VertexId v) const {
+    VP_DCHECK(contains(v), "vertex contained for group query");
+    if constexpr (kGroups == 1) {
+      return 0;
+    } else {
+      return bucket_[v] >= stride_ ? 1 : 0;
+    }
+  }
+
+  Gain key(VertexId v) const {
+    VP_DCHECK(contains(v), "vertex contained for key query");
+    std::size_t idx = bucket_[v];
+    if constexpr (kGroups == 2) {
+      if (idx >= stride_) idx -= stride_;
+    }
+    return static_cast<Gain>(idx) - max_abs_key_;
+  }
+
+  std::size_t size(int group) const { return count_[group]; }
+  bool empty() const {
+    std::size_t total = 0;
+    for (int g = 0; g < kGroups; ++g) total += count_[g];
+    return total == 0;
+  }
+
+  /// Highest key with a nonempty bucket in `group`; group must be
+  /// nonempty.  Amortized O(1) over a pass via the descending cursor.
+  Gain max_key(int group) const {
+    VP_CHECK(count_[group] > 0, "group nonempty for max_key");
+    const std::size_t base = n_ + static_cast<std::size_t>(group) * stride_;
+    std::size_t idx = max_index_[group];
+    while (slot_empty(base + idx)) {
+      VP_DCHECK(idx > 0, "nonempty group has a nonempty bucket");
+      --idx;
+    }
+    max_index_[group] = idx;
+    return static_cast<Gain>(idx) - max_abs_key_;
+  }
+
+  /// Highest nonempty key in `group` strictly below `key`; returns
+  /// min_representable_key()-1 if none.
+  Gain next_nonempty_below(int group, Gain key) const {
+    const std::size_t base = n_ + static_cast<std::size_t>(group) * stride_;
+    for (Gain k = key - 1; k >= -max_abs_key_; --k) {
+      if (!slot_empty(base + static_cast<std::size_t>(k + max_abs_key_))) {
+        return k;
+      }
+    }
+    return -max_abs_key_ - 1;
+  }
+
+  /// Head vertex of bucket (group, key); kInvalidVertex if empty.  The
+  /// key must be within the representable range.
+  VertexId front(int group, Gain key) const {
+    const std::size_t sent = n_ + static_cast<std::size_t>(group) * stride_ +
+                             static_cast<std::size_t>(key + max_abs_key_);
+    const VertexId head = next_[sent];
+    return head == static_cast<VertexId>(sent) ? kInvalidVertex : head;
+  }
+
+  /// Successor within the same bucket (kInvalidVertex at the end).
+  VertexId next(VertexId v) const {
+    const VertexId nx = next_[v];
+    return nx < n_ ? nx : kInvalidVertex;
+  }
+
+  Gain min_representable_key() const { return -max_abs_key_; }
+  Gain max_representable_key() const { return max_abs_key_; }
+
+  /// Hint that v's membership/key metadata is about to be read — used by
+  /// the refiners' pin walks to overlap the gather latency of upcoming
+  /// pins with the current pin's update.
+  void prefetch(VertexId v) const { VP_PREFETCH_READ(&bucket_[v]); }
+
+ private:
+  bool slot_empty(std::size_t sent) const {
+    return next_[sent] == static_cast<VertexId>(sent);
+  }
+
+  std::size_t checked_index([[maybe_unused]] VertexId v, Gain key) const {
+    VP_DCHECK(!contains(v), "vertex not already contained");
+    VP_DCHECK(key >= -max_abs_key_ && key <= max_abs_key_,
+              "key " << key << " within representable range " << max_abs_key_);
+    return static_cast<std::size_t>(key + max_abs_key_);
+  }
+
+  std::size_t n_ = 0;
+  std::size_t stride_ = 0;  // buckets per group
+  Gain max_abs_key_ = 0;
+
+  // Parallel arrays over the vertex+sentinel id space.
+  std::vector<VertexId> next_;
+  std::vector<VertexId> prev_;
+  // Per-vertex flat bucket slot; kNoSlot when not contained.
+  std::vector<std::uint32_t> bucket_;
+  // Slots written since the last reset() (empty -> nonempty events).
+  std::vector<std::uint32_t> touched_;
+  // Lazily maintained upper bound on the max nonempty key index.
+  mutable std::size_t max_index_[kGroups] = {};
+  std::size_t count_[kGroups] = {};
+};
+
+}  // namespace vlsipart

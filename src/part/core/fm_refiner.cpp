@@ -6,8 +6,19 @@
 
 #include "src/part/core/invariant_audit.h"
 #include "src/util/logging.h"
+#include "src/util/prefetch.h"
 
 namespace vlsipart {
+
+namespace {
+/// Pin-walk prefetch distance, and the minimum net size that pays for
+/// the extra prefetch instructions.  Small nets (the 3-5 pin typical
+/// case) fit the walk in flight anyway; the gather-heavy huge
+/// clock/reset-class nets are where the per-pin metadata loads
+/// (locked/part/bucket) miss cache and the hint overlaps them.
+constexpr std::size_t kPinPrefetchDistance = 8;
+constexpr std::size_t kPinPrefetchMinPins = 16;
+}  // namespace
 
 FmRefiner::FmRefiner(const PartitionProblem& problem, FmConfig config)
     : problem_(&problem),
@@ -304,8 +315,8 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
 
     for (std::size_t i = 0; i < nets.size(); ++i) {
       const EdgeId e = nets[i];
-      const std::uint32_t old_pins[2] = {moved.old_pins[0][i],
-                                         moved.old_pins[1][i]};
+      const std::uint32_t old_pins[2] = {moved.old_in(i, 0),
+                                         moved.old_in(i, 1)};
       // Net-state filter: if the source side keeps >= 2 pins after the
       // move (old >= 3) and the destination side already had >= 2, the
       // net is non-critical before AND after — every pin's "four cut
@@ -319,9 +330,26 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
       }
       ++stats.nets_walked;
       const Weight ew = h.edge_weight(e);
-      const std::uint32_t new_pins[2] = {state.pins_in(e, 0),
-                                         state.pins_in(e, 1)};
-      for (const VertexId y : h.pins(e)) {
+      // Post-move counts derive from the recorded pre-move counts (the
+      // source side lost v, the destination gained it) — the scattered
+      // per-net counter re-reads the loop used to do are gone; the walk
+      // runs entirely off the dense MoveNetCounts stream.
+      std::uint32_t new_pins[2];
+      new_pins[from] = old_pins[from] - 1;
+      new_pins[from ^ 1] = old_pins[from ^ 1] + 1;
+      const auto pins = h.pins(e);
+      const std::size_t prefetch_end =
+          pins.size() >= kPinPrefetchMinPins
+              ? pins.size() - kPinPrefetchDistance
+              : 0;
+      for (std::size_t j = 0; j < pins.size(); ++j) {
+        if (j < prefetch_end) {
+          const VertexId ahead = pins[j + kPinPrefetchDistance];
+          container_.prefetch(ahead);
+          VP_PREFETCH_READ(&locked_[ahead]);
+          VP_PREFETCH_READ(&state.parts()[ahead]);
+        }
+        const VertexId y = pins[j];
         if (y == v || locked_[y] || !container_.contains(y)) continue;
         const PartId py = state.part(y);
         const PartId qy = py ^ 1;

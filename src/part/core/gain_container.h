@@ -1,20 +1,26 @@
-// Bucket-array gain container for FM-style partitioners.
+// Structure-of-arrays gain container for FM-style 2-way partitioners.
 //
 // Moves are segregated by source partition ("side"), exactly the
 // organization the paper describes when discussing highest-gain-bucket
-// tie-breaking (Sec. 2.2).  Each side is an array of doubly-linked
-// buckets indexed by key (actual gain for classic FM; cumulative delta
-// gain for CLIP), with intrusive prev/next links over vertex ids and a
-// lazily maintained max-key pointer.
+// tie-breaking (Sec. 2.2).  The storage is the shared SoA bucket kernel
+// (bucket_array.h): flat parallel next/prev/bucket arrays, sentinel-
+// threaded circular bucket lists (branchless insert/remove), a per-side
+// dense bucket array with a descending max-gain cursor, and an
+// O(touched) sparse reset.  This class adds only FM policy on top —
+// the InsertOrder position rule (LIFO head / FIFO tail / random end),
+// CLIP's forced head insertion, and defensive key clamping — and every
+// method is header-inline so the refiner's inner loop pays no call
+// boundary per bucket operation.
 //
-// All operations are O(1) except max-key queries, which amortize over the
-// monotone descent of the max pointer within a pass.
+// All operations are O(1) except max-key queries, which amortize over
+// the monotone descent of the max pointer within a pass.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <vector>
 
 #include "src/hypergraph/types.h"
+#include "src/part/core/bucket_array.h"
 #include "src/part/core/fm_config.h"
 #include "src/util/rng.h"
 
@@ -22,83 +28,105 @@ namespace vlsipart {
 
 class GainContainer {
  public:
-  GainContainer(std::size_t num_vertices, InsertOrder order);
+  GainContainer(std::size_t num_vertices, InsertOrder order)
+      : order_(order), buckets_(num_vertices) {}
 
   /// Clear and size buckets for keys in [-max_abs_key, max_abs_key].
-  void reset(Gain max_abs_key);
+  void reset(Gain max_abs_key) { buckets_.reset(max_abs_key); }
 
   /// Insert a free vertex on `side` with the given key.  Position within
   /// the bucket follows the configured InsertOrder (LIFO head / FIFO
   /// tail / random end); rng is only consulted for kRandom.
-  void insert(VertexId v, PartId side, Gain key, Rng& rng);
+  void insert(VertexId v, PartId side, Gain key, Rng& rng) {
+    if (pick_head(rng)) {
+      buckets_.push_front(v, side, key);
+    } else {
+      buckets_.push_back(v, side, key);
+    }
+  }
 
   /// Insert at the bucket head regardless of the configured order.  Used
   /// by CLIP's initial build, which orders the zero-gain bucket heads by
   /// descending initial gain [15].
-  void insert_at_head(VertexId v, PartId side, Gain key);
+  void insert_at_head(VertexId v, PartId side, Gain key) {
+    buckets_.push_front(v, side, key);
+  }
 
   /// Remove v (must be contained).
-  void remove(VertexId v);
+  void remove(VertexId v) { buckets_.erase(v); }
 
   /// Remove and reinsert v with key shifted by delta (nonzero delta-gain
   /// update).
-  void update_key(VertexId v, Gain delta, Rng& rng);
+  void update_key(VertexId v, Gain delta, Rng& rng) {
+    // Clamp defensively: with CLIP keys (cumulative delta gain) the bound
+    // is 2x the weighted degree, which reset() is sized for; clamping
+    // preserves ordering at the extremes rather than corrupting memory.
+    const Gain new_key =
+        std::clamp(buckets_.key(v) + delta, buckets_.min_representable_key(),
+                   buckets_.max_representable_key());
+    buckets_.move_to(v, new_key, pick_head(rng));
+  }
 
   /// Remove and reinsert v at the same key — the "All-dgain" policy's
   /// zero-delta update, which shifts v's position within its bucket.
-  void reinsert(VertexId v, Rng& rng);
+  void reinsert(VertexId v, Rng& rng) {
+    buckets_.move_to(v, buckets_.key(v), pick_head(rng));
+  }
 
-  bool contains(VertexId v) const { return in_[v]; }
-  Gain key(VertexId v) const { return key_[v]; }
-  PartId side_of(VertexId v) const { return side_[v]; }
+  bool contains(VertexId v) const { return buckets_.contains(v); }
+  Gain key(VertexId v) const { return buckets_.key(v); }
+  PartId side_of(VertexId v) const {
+    return static_cast<PartId>(buckets_.group_of(v));
+  }
 
-  std::size_t size(PartId side) const { return count_[side]; }
-  bool empty() const { return count_[0] + count_[1] == 0; }
+  std::size_t size(PartId side) const { return buckets_.size(side); }
+  bool empty() const { return buckets_.empty(); }
 
   /// Highest key with a nonempty bucket on `side`; side must be nonempty.
-  Gain max_key(PartId side) const;
+  Gain max_key(PartId side) const { return buckets_.max_key(side); }
 
   /// Highest nonempty key on `side` strictly below `key`; returns
   /// min_key()-1 if none.  Used to skip a bucket whose head is illegal.
-  Gain next_nonempty_below(PartId side, Gain key) const;
-
-  /// Head vertex of the bucket (kInvalidVertex if empty).
-  VertexId bucket_head(PartId side, Gain key) const;
-  /// Successor within the same bucket (kInvalidVertex at the end).
-  VertexId next_in_bucket(VertexId v) const { return next_[v]; }
-
-  Gain min_representable_key() const { return -max_abs_key_; }
-  Gain max_representable_key() const { return max_abs_key_; }
-
- private:
-  std::size_t index_of(Gain key) const {
-    return static_cast<std::size_t>(key + max_abs_key_);
+  Gain next_nonempty_below(PartId side, Gain key) const {
+    return buckets_.next_nonempty_below(side, key);
   }
 
-  bool pick_head(Rng& rng) const;
-  void push(VertexId v, PartId side, Gain key, bool at_head);
-  void unlink(VertexId v);
+  /// Head vertex of the bucket (kInvalidVertex if empty).
+  VertexId bucket_head(PartId side, Gain key) const {
+    if (key < buckets_.min_representable_key() ||
+        key > buckets_.max_representable_key()) {
+      return kInvalidVertex;
+    }
+    return buckets_.front(side, key);
+  }
+  /// Successor within the same bucket (kInvalidVertex at the end).
+  VertexId next_in_bucket(VertexId v) const { return buckets_.next(v); }
+
+  Gain min_representable_key() const {
+    return buckets_.min_representable_key();
+  }
+  Gain max_representable_key() const {
+    return buckets_.max_representable_key();
+  }
+
+  /// Hint that v's membership/key metadata is about to be read.
+  void prefetch(VertexId v) const { buckets_.prefetch(v); }
+
+ private:
+  bool pick_head(Rng& rng) const {
+    switch (order_) {
+      case InsertOrder::kLifo:
+        return true;
+      case InsertOrder::kFifo:
+        return false;
+      case InsertOrder::kRandom:
+        return rng.bernoulli(0.5);
+    }
+    return true;
+  }
 
   InsertOrder order_;
-  Gain max_abs_key_ = 0;
-
-  // Per-side bucket arrays: head/tail vertex per key index.
-  std::vector<VertexId> head_[2];
-  std::vector<VertexId> tail_[2];
-  // Key indices whose slots were written since the last reset(); reset()
-  // clears only these (the key range is O(max weighted degree), the
-  // touched set is O(ops per pass)).
-  std::vector<std::size_t> touched_[2];
-  // Lazily maintained upper bound on the max nonempty key index.
-  mutable std::size_t max_index_[2] = {0, 0};
-  std::size_t count_[2] = {0, 0};
-
-  // Intrusive per-vertex fields.
-  std::vector<VertexId> prev_;
-  std::vector<VertexId> next_;
-  std::vector<Gain> key_;
-  std::vector<PartId> side_;
-  std::vector<std::uint8_t> in_;
+  BucketArray<2> buckets_;
 };
 
 }  // namespace vlsipart

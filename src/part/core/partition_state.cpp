@@ -3,21 +3,26 @@
 #include <sstream>
 
 #include "src/util/logging.h"
+#include "src/util/prefetch.h"
 
 namespace vlsipart {
 
+namespace {
+/// Net-walk prefetch distance: far enough to cover an L2 hit, near
+/// enough that the line is still resident when the walk arrives.
+constexpr std::size_t kNetPrefetchDistance = 4;
+}  // namespace
+
 PartitionState::PartitionState(const Hypergraph& h)
-    : h_(&h), parts_(h.num_vertices(), kNoPart) {
-  pins_in_[0].assign(h.num_edges(), 0);
-  pins_in_[1].assign(h.num_edges(), 0);
-}
+    : h_(&h),
+      parts_(h.num_vertices(), kNoPart),
+      pins_in_(2 * h.num_edges(), 0) {}
 
 void PartitionState::assign(std::span<const PartId> parts) {
   VP_CHECK(parts.size() == h_->num_vertices(), "assignment covers vertices");
   parts_.assign(parts.begin(), parts.end());
   part_weight_ = {0, 0};
-  pins_in_[0].assign(h_->num_edges(), 0);
-  pins_in_[1].assign(h_->num_edges(), 0);
+  pins_in_.assign(2 * h_->num_edges(), 0);
   for (std::size_t v = 0; v < parts_.size(); ++v) {
     VP_CHECK(parts_[v] == 0 || parts_[v] == 1, "part id is 0 or 1, v=" << v);
     part_weight_[parts_[v]] += h_->vertex_weight(static_cast<VertexId>(v));
@@ -25,9 +30,9 @@ void PartitionState::assign(std::span<const PartId> parts) {
   cut_ = 0;
   for (std::size_t e = 0; e < h_->num_edges(); ++e) {
     for (const VertexId v : h_->pins(static_cast<EdgeId>(e))) {
-      ++pins_in_[parts_[v]][e];
+      ++pins_in_[2 * e + parts_[v]];
     }
-    if (pins_in_[0][e] > 0 && pins_in_[1][e] > 0) {
+    if (pins_in_[2 * e] > 0 && pins_in_[2 * e + 1] > 0) {
       cut_ += h_->edge_weight(static_cast<EdgeId>(e));
     }
   }
@@ -41,22 +46,38 @@ void PartitionState::move_impl(VertexId v, MoveNetCounts* counts) {
   const Weight w = h_->vertex_weight(v);
   const auto nets = h_->incident_edges(v);
   if constexpr (kRecord) {
-    counts->old_pins[0].resize(nets.size());
-    counts->old_pins[1].resize(nets.size());
+    counts->old_pins.resize(2 * nets.size());
   }
+  const std::size_t prefetch_end =
+      nets.size() > kNetPrefetchDistance ? nets.size() - kNetPrefetchDistance
+                                         : 0;
   for (std::size_t i = 0; i < nets.size(); ++i) {
-    const EdgeId e = nets[i];
-    const Weight ew = h_->edge_weight(e);
-    if constexpr (kRecord) {
-      counts->old_pins[0][i] = pins_in_[0][e];
-      counts->old_pins[1][i] = pins_in_[1][e];
+    if (i < prefetch_end) {
+      // The interleaved pair (2e, 2e+1) shares an 8-byte-aligned chunk,
+      // so one prefetch covers both counters of the upcoming net.
+      VP_PREFETCH_WRITE(
+          &pins_in_[2 * static_cast<std::size_t>(
+                            nets[i + kNetPrefetchDistance])]);
     }
-    const bool was_cut = pins_in_[0][e] > 0 && pins_in_[1][e] > 0;
-    --pins_in_[from][e];
-    ++pins_in_[to][e];
-    const bool now_cut = pins_in_[0][e] > 0 && pins_in_[1][e] > 0;
-    if (was_cut && !now_cut) cut_ -= ew;
-    if (!was_cut && now_cut) cut_ += ew;
+    const EdgeId e = nets[i];
+    const std::size_t base = 2 * static_cast<std::size_t>(e);
+    const std::uint32_t old_from = pins_in_[base + from];
+    const std::uint32_t old_to = pins_in_[base + to];
+    if constexpr (kRecord) {
+      counts->old_pins[2 * i + from] = old_from;
+      counts->old_pins[2 * i + to] = old_to;
+    }
+    pins_in_[base + from] = old_from - 1;
+    pins_in_[base + to] = old_to + 1;
+    // v itself is a from-side pin, so old_from >= 1 and the to side never
+    // empties: cut membership flips only through old_to == 0 (newly cut)
+    // or old_from == 1 (now uncut).
+    const bool was_cut = old_to > 0;
+    const bool now_cut = old_from > 1;
+    if (was_cut != now_cut) {
+      const Weight ew = h_->edge_weight(e);
+      cut_ += now_cut ? ew : -ew;
+    }
   }
   parts_[v] = to;
   part_weight_[from] -= w;
@@ -75,8 +96,9 @@ Gain PartitionState::gain(VertexId v) const {
   Gain g = 0;
   for (const EdgeId e : h_->incident_edges(v)) {
     const Weight ew = h_->edge_weight(e);
-    if (pins_in_[from][e] == 1) g += ew;
-    if (pins_in_[to][e] == 0) g -= ew;
+    const std::size_t base = 2 * static_cast<std::size_t>(e);
+    if (pins_in_[base + from] == 1) g += ew;
+    if (pins_in_[base + to] == 0) g -= ew;
   }
   return g;
 }
@@ -100,7 +122,7 @@ void PartitionState::audit() const {
         ++p1;
       }
     }
-    VP_CHECK(p0 == pins_in_[0][e] && p1 == pins_in_[1][e],
+    VP_CHECK(p0 == pins_in_[2 * e] && p1 == pins_in_[2 * e + 1],
              "pin counts match recomputation, e=" << e);
     if (p0 > 0 && p1 > 0) cut += h_->edge_weight(static_cast<EdgeId>(e));
   }

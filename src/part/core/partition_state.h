@@ -32,11 +32,21 @@ struct PartitionProblem {
 
 /// Pre-move per-net pin counts of the nets incident to a moved vertex,
 /// filled by PartitionState::move(v, counts) in the same walk that
-/// applies the move (no separate snapshot pass).  old_pins[p][i] is the
-/// count of pins in part p of graph().incident_edges(v)[i] *before* the
-/// move.  Callers own the struct so its buffers are reused across moves.
+/// applies the move (no separate snapshot pass).  Interleaved layout:
+/// old_pins[2*i + p] is the count of pins in part p of
+/// graph().incident_edges(v)[i] *before* the move — one sequential
+/// stream, both sides of a net on the same cache line.  The post-move
+/// counts need no storage: the moved vertex's source side lost exactly
+/// one pin and the destination side gained exactly one, so callers
+/// derive them (old-1 / old+1) instead of re-reading the state's
+/// scattered counters.  Callers own the struct so its buffer is reused
+/// across moves.
 struct MoveNetCounts {
-  std::array<std::vector<std::uint32_t>, 2> old_pins;
+  std::vector<std::uint32_t> old_pins;
+
+  std::uint32_t old_in(std::size_t net_index, PartId p) const {
+    return old_pins[2 * net_index + p];
+  }
 };
 
 class PartitionState {
@@ -64,12 +74,16 @@ class PartitionState {
   const std::vector<PartId>& parts() const { return parts_; }
 
   Weight part_weight(PartId p) const { return part_weight_[p]; }
-  /// Number of pins of edge e currently in part p.
+  /// Number of pins of edge e currently in part p.  The two per-part
+  /// counters of a net are interleaved (slot 2e+p) so every per-move net
+  /// transition — and every gain recomputation — touches one cache line
+  /// per net instead of one per (net, part).
   std::uint32_t pins_in(EdgeId e, PartId p) const {
-    return pins_in_[p][e];
+    return pins_in_[2 * static_cast<std::size_t>(e) + p];
   }
   bool edge_cut(EdgeId e) const {
-    return pins_in_[0][e] > 0 && pins_in_[1][e] > 0;
+    const std::size_t base = 2 * static_cast<std::size_t>(e);
+    return pins_in_[base] > 0 && pins_in_[base + 1] > 0;
   }
 
   /// Weighted cut: sum of weights of edges spanning both parts.  This is
@@ -95,7 +109,8 @@ class PartitionState {
   const Hypergraph* h_;
   std::vector<PartId> parts_;
   std::array<Weight, 2> part_weight_{0, 0};
-  std::array<std::vector<std::uint32_t>, 2> pins_in_;
+  /// Interleaved per-net pin counts: slot 2e+p = pins of e in part p.
+  std::vector<std::uint32_t> pins_in_;
   Weight cut_ = 0;
 };
 

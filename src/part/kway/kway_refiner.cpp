@@ -3,11 +3,22 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/prefetch.h"
 
 namespace vlsipart {
 
+namespace {
+/// Same pin-walk prefetch policy as the 2-way refiner (fm_refiner.cpp):
+/// hint only on nets large enough that the per-pin metadata gather
+/// dominates the walk.
+constexpr std::size_t kPinPrefetchDistance = 8;
+constexpr std::size_t kPinPrefetchMinPins = 16;
+}  // namespace
+
 KwayFmRefiner::KwayFmRefiner(const KwayProblem& problem, KwayFmConfig config)
-    : problem_(&problem), config_(config) {
+    : problem_(&problem),
+      config_(config),
+      pool_(problem.graph->num_vertices()) {
   const Hypergraph& h = *problem.graph;
   Gain max_wdeg = 0;
   for (std::size_t v = 0; v < h.num_vertices(); ++v) {
@@ -19,11 +30,7 @@ KwayFmRefiner::KwayFmRefiner(const KwayProblem& problem, KwayFmConfig config)
   }
   max_abs_gain_ = max_wdeg;
   const std::size_t n = h.num_vertices();
-  prev_.assign(n, kInvalidVertex);
-  next_.assign(n, kInvalidVertex);
-  key_.assign(n, 0);
   target_.assign(n, kNoPart);
-  in_pool_.assign(n, 0);
   locked_.assign(n, 0);
   use_lookahead_ = config_.lookahead_depth > 1;
 }
@@ -81,7 +88,7 @@ VertexId KwayFmRefiner::lookahead_pick(const KwayState& state,
   std::size_t scanned = 0;
   for (VertexId v = head;
        v != kInvalidVertex && scanned < config_.lookahead_scan_limit;
-       v = next_[v], ++scanned) {
+       v = pool_.next(v), ++scanned) {
     if (!target_legal(state, v, target_[v])) continue;
     level_gains(state, v, vec);
     if (best == kInvalidVertex || vec > best_vec) {
@@ -92,52 +99,15 @@ VertexId KwayFmRefiner::lookahead_pick(const KwayState& state,
   return best;
 }
 
-void KwayFmRefiner::pool_reset() {
-  bucket_head_.assign(static_cast<std::size_t>(2 * max_abs_gain_ + 1),
-                      kInvalidVertex);
-  std::fill(in_pool_.begin(), in_pool_.end(), 0);
-  pool_size_ = 0;
-  max_index_ = 0;
-}
-
 void KwayFmRefiner::pool_insert(VertexId v, Gain key, PartId target) {
   key = std::clamp(key, -max_abs_gain_, max_abs_gain_);
-  const std::size_t idx = index_of(key);
-  key_[v] = key;
   target_[v] = target;
-  in_pool_[v] = 1;
-  ++pool_size_;
-  VertexId& head = bucket_head_[idx];
-  prev_[v] = kInvalidVertex;
-  next_[v] = head;
-  if (head != kInvalidVertex) prev_[head] = v;
-  head = v;  // LIFO
-  max_index_ = std::max(max_index_, idx);
-}
-
-void KwayFmRefiner::pool_remove(VertexId v) {
-  VP_DCHECK(in_pool_[v], "vertex in pool before removal");
-  const std::size_t idx = index_of(key_[v]);
-  if (prev_[v] != kInvalidVertex) {
-    next_[prev_[v]] = next_[v];
-  } else {
-    bucket_head_[idx] = next_[v];
-  }
-  if (next_[v] != kInvalidVertex) prev_[next_[v]] = prev_[v];
-  prev_[v] = next_[v] = kInvalidVertex;
-  in_pool_[v] = 0;
-  --pool_size_;
+  pool_.push_front(v, 0, key);  // LIFO
 }
 
 VertexId KwayFmRefiner::pool_top_head() const {
-  if (pool_size_ == 0) return kInvalidVertex;
-  std::size_t idx = max_index_;
-  while (bucket_head_[idx] == kInvalidVertex) {
-    VP_DCHECK(idx > 0, "nonempty pool has nonempty bucket");
-    --idx;
-  }
-  const_cast<KwayFmRefiner*>(this)->max_index_ = idx;
-  return bucket_head_[idx];
+  if (pool_.empty()) return kInvalidVertex;
+  return pool_.front(0, pool_.max_key(0));
 }
 
 bool KwayFmRefiner::target_legal(const KwayState& state, VertexId v,
@@ -169,7 +139,7 @@ Weight KwayFmRefiner::run_pass(KwayState& state, Rng& rng) {
   const Hypergraph& h = *problem_->graph;
   const std::size_t n = h.num_vertices();
 
-  pool_reset();
+  pool_.reset(max_abs_gain_);
   std::fill(locked_.begin(), locked_.end(), 0);
   move_order_.clear();
   if (use_lookahead_) {
@@ -198,7 +168,7 @@ Weight KwayFmRefiner::run_pass(KwayState& state, Rng& rng) {
   std::size_t best_prefix = 0;
   std::size_t moves_since_best = 0;
 
-  while (pool_size_ > 0) {
+  while (!pool_.empty()) {
     VertexId v = pool_top_head();
     if (v == kInvalidVertex) break;
     if (use_lookahead_) {
@@ -214,19 +184,19 @@ Weight KwayFmRefiner::run_pass(KwayState& state, Rng& rng) {
       // reinsertion makes progress.
       to = best_target(state, v, /*require_legal=*/true);
       if (to == kNoPart) {
-        pool_remove(v);
+        pool_.erase(v);
         continue;
       }
       const Gain g = state.gain(v, to);
-      if (g < key_[v]) {
-        pool_remove(v);
+      if (g < pool_.key(v)) {
+        pool_.erase(v);
         pool_insert(v, g, to);
         continue;
       }
       // Equal key with a legal target: fall through and take it.
     }
 
-    pool_remove(v);
+    pool_.erase(v);
     locked_[v] = 1;
     const PartId from = state.part(v);
     state.move(v, to);
@@ -239,10 +209,21 @@ Weight KwayFmRefiner::run_pass(KwayState& state, Rng& rng) {
 
     // Eager exact update of every free neighbor's best candidate.
     for (const EdgeId e : h.incident_edges(v)) {
-      for (const VertexId y : h.pins(e)) {
-        if (y == v || locked_[y] || !in_pool_[y]) continue;
+      const auto pins = h.pins(e);
+      const std::size_t prefetch_end =
+          pins.size() >= kPinPrefetchMinPins
+              ? pins.size() - kPinPrefetchDistance
+              : 0;
+      for (std::size_t j = 0; j < pins.size(); ++j) {
+        if (j < prefetch_end) {
+          const VertexId ahead = pins[j + kPinPrefetchDistance];
+          pool_.prefetch(ahead);
+          VP_PREFETCH_READ(&locked_[ahead]);
+        }
+        const VertexId y = pins[j];
+        if (y == v || locked_[y] || !pool_.contains(y)) continue;
         const PartId t = best_target(state, y, /*require_legal=*/false);
-        pool_remove(y);
+        pool_.erase(y);
         if (t != kNoPart) pool_insert(y, state.gain(y, t), t);
       }
     }

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "src/part/core/bucket_array.h"
 #include "src/part/kway/kway_state.h"
 #include "src/util/rng.h"
 
@@ -79,29 +80,21 @@ class KwayFmRefiner {
   KwayFmConfig config_;
   Gain max_abs_gain_ = 0;
 
-  // Single-pool intrusive bucket list over candidate moves.
-  std::vector<VertexId> bucket_head_;
-  std::vector<VertexId> prev_;
-  std::vector<VertexId> next_;
-  std::vector<Gain> key_;
+  /// Candidate moves live in the same SoA bucket kernel the 2-way
+  /// refiner uses (bucket_array.h), instantiated as a single pool:
+  /// sentinel-threaded branchless bucket lists, derived keys, sparse
+  /// reset, descending max cursor.  target_[v] carries the candidate's
+  /// destination part alongside the pool key.
+  BucketArray<1> pool_;
   std::vector<PartId> target_;
-  std::vector<std::uint8_t> in_pool_;
   std::vector<std::uint8_t> locked_;
-  std::size_t pool_size_ = 0;
-  std::size_t max_index_ = 0;
   /// Per-(edge, part) locked pin counts (e * k + p); maintained only
   /// when level-gain tie-breaking is active.
   std::vector<std::uint32_t> locked_in_;
   bool use_lookahead_ = false;
 
-  void pool_reset();
   void pool_insert(VertexId v, Gain key, PartId target);
-  void pool_remove(VertexId v);
   VertexId pool_top_head() const;
-  Gain pool_max_key() const;
-  std::size_t index_of(Gain key) const {
-    return static_cast<std::size_t>(key + max_abs_gain_);
-  }
 
   std::vector<MoveRecord> move_order_;
 };

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/util/logging.h"
+#include "src/util/prefetch.h"
 
 namespace vlsipart {
 
@@ -56,7 +57,21 @@ void KwayState::move(VertexId v, PartId to) {
   const PartId from = parts_[v];
   VP_DCHECK(from < k_ && to < k_ && from != to, "valid move");
   const Weight w = h_->vertex_weight(v);
-  for (const EdgeId e : h_->incident_edges(v)) {
+  const auto nets = h_->incident_edges(v);
+  // The k per-part counters of a net are contiguous (row e*k..e*k+k-1),
+  // so one prefetch per upcoming net covers the whole transition; the
+  // spanned_ counter rides on a second stream.
+  constexpr std::size_t kNetPrefetchDistance = 4;
+  const std::size_t prefetch_end =
+      nets.size() > kNetPrefetchDistance ? nets.size() - kNetPrefetchDistance
+                                         : 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (i < prefetch_end) {
+      const EdgeId ahead = nets[i + kNetPrefetchDistance];
+      VP_PREFETCH_WRITE(&pins_in_[static_cast<std::size_t>(ahead) * k_]);
+      VP_PREFETCH_WRITE(&spanned_[ahead]);
+    }
+    const EdgeId e = nets[i];
     const std::size_t base = static_cast<std::size_t>(e) * k_;
     const bool was_cut = spanned_[e] >= 2;
     if (--pins_in_[base + from] == 0) --spanned_[e];

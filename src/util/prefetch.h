@@ -1,0 +1,18 @@
+// Portable software-prefetch hints for the refinement hot paths.
+//
+// A prefetch is a pure performance hint: it never changes observable
+// behavior, so the bit-identical-trace contract of the FM kernels is
+// unaffected whether the macro expands to a real instruction or to
+// nothing.  Compilers without __builtin_prefetch get a no-op that still
+// evaluates (and type-checks) the address expression.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+// Locality hint 3 = keep in all cache levels: the prefetched gain/lock/
+// part metadata is re-touched by the very next moves of the same pass.
+#define VP_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 3)
+#define VP_PREFETCH_WRITE(addr) __builtin_prefetch((addr), 1, 3)
+#else
+#define VP_PREFETCH_READ(addr) (static_cast<void>(addr))
+#define VP_PREFETCH_WRITE(addr) (static_cast<void>(addr))
+#endif

@@ -1,0 +1,280 @@
+// Differential fuzz: the SoA GainContainer (sentinel-threaded flat
+// arrays, bucket_array.h) against a deliberately simple reference
+// implementation built on std::map + std::deque.  Both sides consume
+// their own Rng from the same seed, and the reference mirrors the
+// container's position policy exactly (LIFO head / FIFO tail / random
+// end, one bernoulli per insert/update/reinsert under kRandom), so
+// every observable — membership, keys, sides, per-bucket order,
+// max-key extraction sequence including tie-breaks — must match
+// bit-for-bit across arbitrary operation interleavings and sparse
+// resets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/part/core/gain_container.h"
+
+namespace vlsipart {
+namespace {
+
+/// Obviously-correct mirror of GainContainer's semantics.  No sharing
+/// with the production code beyond InsertOrder and the Rng type.
+class ReferenceGainContainer {
+ public:
+  ReferenceGainContainer(std::size_t num_vertices, InsertOrder order)
+      : order_(order), entries_(num_vertices) {}
+
+  void reset(Gain max_abs_key) {
+    max_abs_key_ = max_abs_key;
+    buckets_[0].clear();
+    buckets_[1].clear();
+    for (auto& e : entries_) e.contained = false;
+  }
+
+  void insert(VertexId v, PartId side, Gain key, Rng& rng) {
+    place(v, side, key, pick_head(rng));
+  }
+
+  void insert_at_head(VertexId v, PartId side, Gain key) {
+    place(v, side, key, /*front=*/true);
+  }
+
+  void remove(VertexId v) {
+    auto& e = entries_[v];
+    auto& dq = buckets_[e.side][e.key];
+    dq.erase(std::find(dq.begin(), dq.end(), v));
+    if (dq.empty()) buckets_[e.side].erase(e.key);
+    e.contained = false;
+  }
+
+  void update_key(VertexId v, Gain delta, Rng& rng) {
+    const auto e = entries_[v];
+    const Gain new_key =
+        std::clamp(e.key + delta, -max_abs_key_, max_abs_key_);
+    const bool front = pick_head(rng);
+    remove(v);
+    place(v, e.side, new_key, front);
+  }
+
+  void reinsert(VertexId v, Rng& rng) {
+    const auto e = entries_[v];
+    const bool front = pick_head(rng);
+    remove(v);
+    place(v, e.side, e.key, front);
+  }
+
+  bool contains(VertexId v) const { return entries_[v].contained; }
+  Gain key(VertexId v) const { return entries_[v].key; }
+  PartId side_of(VertexId v) const { return entries_[v].side; }
+
+  std::size_t size(PartId side) const {
+    std::size_t total = 0;
+    for (const auto& [k, dq] : buckets_[side]) total += dq.size();
+    return total;
+  }
+  bool empty() const { return size(0) == 0 && size(1) == 0; }
+
+  Gain max_key(PartId side) const { return buckets_[side].rbegin()->first; }
+
+  std::vector<VertexId> bucket_order(PartId side, Gain key) const {
+    const auto it = buckets_[side].find(key);
+    if (it == buckets_[side].end()) return {};
+    return {it->second.begin(), it->second.end()};
+  }
+
+ private:
+  struct Entry {
+    bool contained = false;
+    PartId side = 0;
+    Gain key = 0;
+  };
+
+  void place(VertexId v, PartId side, Gain key, bool front) {
+    auto& dq = buckets_[side][key];
+    if (front) {
+      dq.push_front(v);
+    } else {
+      dq.push_back(v);
+    }
+    entries_[v] = {true, side, key};
+  }
+
+  bool pick_head(Rng& rng) const {
+    switch (order_) {
+      case InsertOrder::kLifo:
+        return true;
+      case InsertOrder::kFifo:
+        return false;
+      case InsertOrder::kRandom:
+        return rng.bernoulli(0.5);
+    }
+    return true;
+  }
+
+  InsertOrder order_;
+  Gain max_abs_key_ = 0;
+  std::vector<Entry> entries_;
+  std::map<Gain, std::deque<VertexId>> buckets_[2];
+};
+
+std::vector<VertexId> soa_bucket_order(const GainContainer& c, PartId side,
+                                       Gain key) {
+  std::vector<VertexId> out;
+  for (VertexId v = c.bucket_head(side, key); v != kInvalidVertex;
+       v = c.next_in_bucket(v)) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+void expect_equivalent(const GainContainer& soa,
+                       const ReferenceGainContainer& ref, std::size_t n,
+                       Gain max_abs_key, const char* ctx) {
+  for (PartId side = 0; side < 2; ++side) {
+    ASSERT_EQ(soa.size(side), ref.size(side)) << ctx << " side=" << int(side);
+    if (soa.size(side) > 0) {
+      ASSERT_EQ(soa.max_key(side), ref.max_key(side))
+          << ctx << " side=" << int(side);
+    }
+    for (Gain k = -max_abs_key; k <= max_abs_key; ++k) {
+      ASSERT_EQ(soa_bucket_order(soa, side, k), ref.bucket_order(side, k))
+          << ctx << " side=" << int(side) << " key=" << k;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(soa.contains(v), ref.contains(v)) << ctx << " v=" << v;
+    if (soa.contains(v)) {
+      ASSERT_EQ(soa.key(v), ref.key(v)) << ctx << " v=" << v;
+      ASSERT_EQ(soa.side_of(v), ref.side_of(v)) << ctx << " v=" << v;
+    }
+  }
+}
+
+/// Drain both containers by repeated best-first extraction, preferring
+/// side 0 on max-key ties (an arbitrary but shared rule), and demand
+/// identical extraction sequences — the strongest order observable,
+/// covering tie-breaks within buckets.
+void expect_same_extraction(GainContainer& soa, ReferenceGainContainer& ref,
+                            const char* ctx) {
+  std::vector<VertexId> got;
+  std::vector<VertexId> want;
+  while (!soa.empty()) {
+    PartId side;
+    if (soa.size(0) == 0) {
+      side = 1;
+    } else if (soa.size(1) == 0) {
+      side = 0;
+    } else {
+      side = soa.max_key(0) >= soa.max_key(1) ? 0 : 1;
+    }
+    const VertexId v = soa.bucket_head(side, soa.max_key(side));
+    got.push_back(v);
+    soa.remove(v);
+  }
+  while (!ref.empty()) {
+    PartId side;
+    if (ref.size(0) == 0) {
+      side = 1;
+    } else if (ref.size(1) == 0) {
+      side = 0;
+    } else {
+      side = ref.max_key(0) >= ref.max_key(1) ? 0 : 1;
+    }
+    const auto order = ref.bucket_order(side, ref.max_key(side));
+    want.push_back(order.front());
+    ref.remove(order.front());
+  }
+  EXPECT_EQ(got, want) << ctx;
+}
+
+class GainContainerDiff : public ::testing::TestWithParam<InsertOrder> {};
+
+TEST_P(GainContainerDiff, FuzzInterleavings) {
+  constexpr std::size_t kN = 96;
+  constexpr Gain kMaxAbs = 24;
+  const InsertOrder order = GetParam();
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    GainContainer soa(kN, order);
+    ReferenceGainContainer ref(kN, order);
+    // Two op-streams (one per implementation) and two policy rngs that
+    // must stay in lockstep — any divergence in bernoulli consumption
+    // desynchronizes them and fails the comparison.
+    Rng ops(seed * 7919);
+    Rng rng_soa(seed);
+    Rng rng_ref(seed);
+    soa.reset(kMaxAbs);
+    ref.reset(kMaxAbs);
+
+    for (int step = 0; step < 4000; ++step) {
+      const auto v = static_cast<VertexId>(ops.below(kN));
+      const auto op = ops.below(100);
+      if (op < 35) {
+        if (!soa.contains(v)) {
+          const auto side = static_cast<PartId>(ops.below(2));
+          const Gain key =
+              static_cast<Gain>(ops.below(2 * kMaxAbs + 1)) - kMaxAbs;
+          soa.insert(v, side, key, rng_soa);
+          ref.insert(v, side, key, rng_ref);
+        }
+      } else if (op < 45) {
+        if (!soa.contains(v)) {
+          const auto side = static_cast<PartId>(ops.below(2));
+          const Gain key =
+              static_cast<Gain>(ops.below(2 * kMaxAbs + 1)) - kMaxAbs;
+          soa.insert_at_head(v, side, key);
+          ref.insert_at_head(v, side, key);
+        }
+      } else if (op < 60) {
+        if (soa.contains(v)) {
+          soa.remove(v);
+          ref.remove(v);
+        }
+      } else if (op < 85) {
+        if (soa.contains(v)) {
+          // Deltas beyond the representable range exercise the clamp.
+          const Gain delta = static_cast<Gain>(ops.below(31)) - 15;
+          soa.update_key(v, delta, rng_soa);
+          ref.update_key(v, delta, rng_ref);
+        }
+      } else if (op < 95) {
+        if (soa.contains(v)) {
+          soa.reinsert(v, rng_soa);
+          ref.reinsert(v, rng_ref);
+        }
+      } else {
+        // Sparse reset mid-stream: the SoA container must clear exactly
+        // the touched buckets.
+        soa.reset(kMaxAbs);
+        ref.reset(kMaxAbs);
+      }
+      if (step % 500 == 499) {
+        expect_equivalent(soa, ref, kN, kMaxAbs, "mid-stream");
+      }
+    }
+    expect_equivalent(soa, ref, kN, kMaxAbs, "final");
+    expect_same_extraction(soa, ref, "extraction");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, GainContainerDiff,
+                         ::testing::Values(InsertOrder::kLifo,
+                                           InsertOrder::kFifo,
+                                           InsertOrder::kRandom),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case InsertOrder::kLifo:
+                               return "Lifo";
+                             case InsertOrder::kFifo:
+                               return "Fifo";
+                             case InsertOrder::kRandom:
+                               return "Random";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace vlsipart

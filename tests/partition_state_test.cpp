@@ -170,10 +170,11 @@ TEST(PartitionState, FuzzMoveRecordingAndAudit) {
           expect1.push_back(s.pins_in(e, 1));
         }
         s.move(v, counts);
+        ASSERT_EQ(counts.old_pins.size(), 2 * edges.size());
         for (std::size_t i = 0; i < edges.size(); ++i) {
-          ASSERT_EQ(counts.old_pins[0][i], expect0[i])
+          ASSERT_EQ(counts.old_in(i, 0), expect0[i])
               << name << " v=" << v << " i=" << i;
-          ASSERT_EQ(counts.old_pins[1][i], expect1[i])
+          ASSERT_EQ(counts.old_in(i, 1), expect1[i])
               << name << " v=" << v << " i=" << i;
         }
       }
