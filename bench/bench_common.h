@@ -10,6 +10,11 @@
 //   --threads T               worker threads for multistart harnesses
 //                             (default 1 = serial; results are bit-identical
 //                             at any T, see DESIGN.md "Threading model")
+//   --refine-threads N        intra-run refinement threads (default 1 =
+//                             serial FM; >1 = the synchronous-round
+//                             parallel engine, bit-identical at any N > 1)
+//   --coarsen-threads N       intra-run coarsening threads (default 1 =
+//                             serial; >1 = deterministic parallel rating)
 //   --full                    paper-faithful sizes and run counts
 //   --csv                     emit CSV instead of aligned text
 //   --json PATH               also append every emitted table to PATH as
@@ -46,9 +51,18 @@ struct BenchOptions {
   double scale = 0.5;
   std::uint64_t seed = 1;
   std::size_t threads = 1;
+  std::size_t refine_threads = 1;
+  std::size_t coarsen_threads = 1;
   bool csv = false;
   bool full = false;
   std::string json;  // empty = no JSON output
+
+  /// Stamp the intra-run thread knobs onto an engine config (applied by
+  /// the shared config helpers below, so every bench honors the flags).
+  FmConfig apply(FmConfig fm) const {
+    fm.refine_threads = refine_threads;
+    return fm;
+  }
 };
 
 /// Wall/CPU consumed by this bench process so far.  The baseline is set
@@ -69,8 +83,11 @@ inline BenchOptions parse_options(int argc, char** argv,
   // Common vocabulary + the caller's bench-specific options; an
   // unrecognized spelling ("--thread 8") aborts with a suggestion
   // instead of silently running the default experiment.
-  std::vector<std::string> allowed = {"cases", "runs",    "scale", "seed",
-                                      "threads", "full",  "csv",   "json"};
+  std::vector<std::string> allowed = {"cases",          "runs",
+                                      "scale",          "seed",
+                                      "threads",        "refine-threads",
+                                      "coarsen-threads", "full",
+                                      "csv",            "json"};
   allowed.insert(allowed.end(), extra.begin(), extra.end());
   args.check_known(allowed);
   BenchOptions opt;
@@ -81,6 +98,10 @@ inline BenchOptions parse_options(int argc, char** argv,
   opt.scale = args.get_double("scale", opt.full ? 1.0 : default_scale);
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   opt.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  opt.refine_threads =
+      static_cast<std::size_t>(args.get_int("refine-threads", 1));
+  opt.coarsen_threads =
+      static_cast<std::size_t>(args.get_int("coarsen-threads", 1));
   opt.csv = args.get_bool("csv");
   opt.json = args.get("json", "");
   return opt;
@@ -139,6 +160,15 @@ inline FmConfig reported_clip() {
 inline MlConfig ml_config(const FmConfig& refine) {
   MlConfig config;
   config.refine = refine;
+  return config;
+}
+
+/// ML wrapper honoring the bench's intra-run thread flags
+/// (--refine-threads / --coarsen-threads).
+inline MlConfig ml_config(const FmConfig& refine, const BenchOptions& opt) {
+  MlConfig config;
+  config.refine = opt.apply(refine);
+  config.coarsen.coarsen_threads = opt.coarsen_threads;
   return config;
 }
 

@@ -12,8 +12,11 @@
 #include "src/part/core/fm_refiner.h"
 #include "src/part/core/gain_container.h"
 #include "src/part/core/initial.h"
+#include "src/part/core/parallel_refine.h"
 #include "src/part/ml/coarsen.h"
+#include "src/part/ml/parallel_coarsen.h"
 #include "src/util/prefetch.h"
+#include "src/util/thread_pool.h"
 
 namespace vlsipart {
 namespace {
@@ -212,6 +215,54 @@ void BM_PinWalkPrefetch(benchmark::State& state) {
   state.SetItemsProcessed(pins_walked);
 }
 BENCHMARK(BM_PinWalkPrefetch)->Arg(0)->Arg(1);
+
+// Synchronous-round parallel refinement at Arg(0) threads on a medium
+// instance.  The result is bit-identical at every arg (the determinism
+// ctest enforces that); the arg sweep measures the round protocol's
+// scaling — freeze/propose fan out over vertex shards, the prefix-scan
+// commit stays serial.  On single-core runners the >1 args measure pure
+// round-protocol overhead over the 1-thread-pool case.
+void BM_ParallelRefine(benchmark::State& state) {
+  const Hypergraph h = generate_netlist(preset("medium"));
+  PartitionProblem p;
+  p.graph = &h;
+  p.balance =
+      BalanceConstraint::from_tolerance(h.total_vertex_weight(), 0.02);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    auto parts = random_initial(p, rng);
+    PartitionState s(h);
+    s.assign(parts);
+    ParallelFmRefiner refiner(p, FmConfig{}, &pool);
+    benchmark::DoNotOptimize(refiner.refine(s, rng));
+  }
+}
+BENCHMARK(BM_ParallelRefine)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Deterministic parallel heavy-edge coarsening, one level, at Arg(0)
+// threads: the rating phase shards over vertices, resolution is serial.
+void BM_ParallelCoarsenOneLevel(benchmark::State& state) {
+  const Hypergraph h = generate_netlist(preset("medium"));
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  ContractionMemory memory;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        parallel_coarsen_once(h, CoarsenConfig{}, {}, {}, &pool, &memory));
+  }
+}
+BENCHMARK(BM_ParallelCoarsenOneLevel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CoarsenOneLevel(benchmark::State& state) {
   const Hypergraph h = generate_netlist(preset("medium"));

@@ -24,8 +24,10 @@
 //   --lookahead R   --lookahead-scan N
 //   --max-passes N  --max-moves-past-best N  --exclude-oversized
 //   --audit off|pass|moves  --audit-every N
+//   --refine-threads N  (1 = serial FM; >1 = synchronous-round parallel)
 // Multilevel knobs (ml engine):
 //   --initial-tries N  --coarsen-to N  --min-reduction X
+//   --coarsen-threads N (1 = serial; >1 = deterministic parallel rating)
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -113,6 +115,8 @@ FmConfig fm_config_from_args(const CliArgs& args) {
                                fm.audit.mode);
   fm.audit.every_moves = static_cast<std::size_t>(args.get_int(
       "audit-every", static_cast<std::int64_t>(fm.audit.every_moves)));
+  fm.refine_threads = static_cast<std::size_t>(args.get_int(
+      "refine-threads", static_cast<std::int64_t>(fm.refine_threads)));
   return fm;
 }
 
@@ -128,7 +132,7 @@ int main(int argc, char** argv) {
                       "look-beyond-first", "lookahead", "lookahead-scan",
                       "max-passes", "max-moves-past-best", "audit",
                       "audit-every", "initial-tries", "coarsen-to",
-                      "min-reduction"});
+                      "min-reduction", "refine-threads", "coarsen-threads"});
     Hypergraph h;
     std::string source;
     if (args.has("hgr")) {
@@ -186,6 +190,9 @@ int main(int argc, char** argv) {
             static_cast<std::int64_t>(config.coarsen.coarsen_to)));
         config.coarsen.min_reduction = args.get_double(
             "min-reduction", config.coarsen.min_reduction);
+        config.coarsen.coarsen_threads = static_cast<std::size_t>(args.get_int(
+            "coarsen-threads",
+            static_cast<std::int64_t>(config.coarsen.coarsen_threads)));
         MlPartitioner engine(config);
         const MultistartResult r =
             run_hmetis_like(problem, engine, starts, vcycles, seed);

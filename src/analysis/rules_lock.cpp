@@ -36,7 +36,9 @@ namespace {
 bool in_lock_scope(const std::string& path) {
   return path_under(path, "src/service") ||
          path_under(path, "src/util/thread_pool.h") ||
-         path_under(path, "src/util/thread_pool.cpp");
+         path_under(path, "src/util/thread_pool.cpp") ||
+         path_under(path, "src/part/core/parallel_refine.h") ||
+         path_under(path, "src/part/core/parallel_refine.cpp");
 }
 
 /// "src/service/server.cpp" -> "src/service/server".

@@ -68,6 +68,7 @@ std::string FmConfig::to_string() const {
       << (exclude_oversized ? ",noOversized" : "")
       << (look_beyond_first ? ",lookBeyond" : "");
   if (lookahead_depth > 1) out << ",LA" << lookahead_depth;
+  if (refine_threads > 1) out << ",par" << refine_threads;
   if (audit.enabled()) out << ",audit=" << audit.to_string();
   out << ")";
   return out.str();

@@ -93,6 +93,13 @@ struct FmConfig {
   /// FmResult::pass_traces (diagnostic; costs one Weight per move).
   bool record_trace = false;
 
+  /// Worker threads for refinement.  1 = the serial FM engine above
+  /// (bit-identical to historical behavior); > 1 selects the
+  /// synchronous-round parallel refiner (parallel_refine.h), whose
+  /// results are identical for every thread count — the two engines are
+  /// different heuristics, so 1 vs >1 legitimately differ.
+  std::size_t refine_threads = 1;
+
   /// Runtime invariant audits (off by default).  The engine resolves this
   /// against the VLSIPART_AUDIT environment variable at construction —
   /// the env var, when set, wins — so audits can be forced on for any

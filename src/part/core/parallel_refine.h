@@ -1,0 +1,170 @@
+// Deterministic synchronous-round parallel 2-way refinement.
+//
+// The serial FM engine (fm_refiner.h) is inherently sequential: every
+// move depends on the gain-bucket state left by the previous one.  This
+// engine trades that strict move order for round-level parallelism while
+// keeping the repo's determinism bar (DESIGN.md §7): results are a pure
+// function of the problem and the starting assignment — never of the
+// thread count or scheduling.  Each round:
+//
+//   1. FREEZE    — gains of all dirty vertices are recomputed from the
+//                  current PartitionState into a flat snapshot, in
+//                  parallel over contiguous vertex-range shards;
+//   2. PROPOSE   — each shard collects its positive-gain movable
+//                  vertices (or, from an infeasible projection, the
+//                  overloaded side's vertices) in ascending id order;
+//   3. COMMIT    — shard buffers are concatenated in shard order (=
+//                  global ascending id order, see shard.h), stably
+//                  sorted by gain descending (ties stay in id order),
+//                  and applied by a serial prefix scan: each legal move
+//                  is applied through the PartitionState interleaved
+//                  pin-count walk while the running (imbalance, cut)
+//                  key is tracked, then the suffix beyond the best
+//                  prefix is rolled back — moves the frozen gains
+//                  mispredicted (conflicting neighbors) cost nothing;
+//   4. REBUILD   — vertices whose gain the kept moves may have changed
+//                  (all pins of nets incident to kept moves) are marked
+//                  dirty for the next round's parallel patch.
+//
+// Rounds repeat while the kept prefix strictly improves the
+// (imbalance, cut) key.  Every phase is either shard-parallel with a
+// barrier (the pool's parallel_for_dynamic joins before the next phase
+// reads) or serial, and no phase reads anything another thread writes in
+// the same phase, so the execution is race-free by construction and
+// bit-identical at any thread count — the property
+// tests/parallel_refine_test.cpp enforces at 1/2/4/8 threads.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/part/core/fm_config.h"
+#include "src/part/core/fm_refiner.h"  // UpdateWork cost-model struct
+#include "src/part/core/partition_state.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace vlsipart {
+
+/// One candidate move from the frozen gain snapshot.
+struct MoveProposal {
+  VertexId v = kInvalidVertex;
+  Gain gain = 0;
+};
+
+/// Outcome of one prefix-scan commit.
+struct CommitOutcome {
+  std::size_t applied = 0;           ///< moves applied before rollback
+  std::size_t kept = 0;              ///< best-prefix length after rollback
+  std::size_t rejected_balance = 0;  ///< proposals refused as illegal
+  std::size_t rejected_other = 0;    ///< fixed vertices / duplicates
+  Weight cut_before = 0;
+  Weight cut_after = 0;
+};
+
+/// Deterministic prefix-scan commit: walk `proposals` in order, apply
+/// every legal move (balance-legal, or strictly imbalance-reducing when
+/// the state is infeasible) through state.move(), track the
+/// (imbalance, cut) key after each applied move, then roll back to the
+/// earliest best prefix.  The kept move ids land in `kept_moves` in
+/// application order.  Proposals naming fixed vertices or a vertex
+/// already moved this commit are skipped (counted in rejected_other), so
+/// arbitrary — even adversarial — proposal lists are safe: the state
+/// ends feasible-or-better with a never-worse (imbalance, cut) key.
+/// Deterministic: the outcome is a pure function of `state` and the
+/// proposal order (callers sort by gain desc, ties by ascending id).
+/// `moved_scratch`, when provided, must be all-zero and sized to the
+/// vertex count; it is returned all-zero (callers reuse it round to
+/// round; without it the function allocates).
+CommitOutcome commit_proposals(const PartitionProblem& problem,
+                               PartitionState& state,
+                               std::span<const MoveProposal> proposals,
+                               std::vector<VertexId>& kept_moves,
+                               std::vector<std::uint8_t>* moved_scratch =
+                                   nullptr);
+
+struct ParallelRoundStats {
+  std::size_t proposals = 0;
+  std::size_t applied = 0;
+  std::size_t kept = 0;
+  std::size_t rejected_balance = 0;
+  std::size_t gains_recomputed = 0;
+  Weight cut_before = 0;
+  Weight cut_after = 0;
+};
+
+struct ParallelFmResult {
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+  std::size_t rounds = 0;
+  std::size_t total_moves = 0;  ///< kept moves summed over rounds
+  std::vector<ParallelRoundStats> round_stats;
+  /// Kept move ids per round, recorded only when FmConfig::record_trace
+  /// is set — the parallel counterpart of FmResult::pass_traces and the
+  /// raw material of the thread-invariance digests.
+  std::vector<std::vector<VertexId>> round_traces;
+
+  /// Gain-recompute work expressed in the serial refiner's cost model so
+  /// multistart harnesses can aggregate either engine's counters.
+  UpdateWork update_work() const {
+    UpdateWork w;
+    for (const ParallelRoundStats& s : round_stats) {
+      w.nets_walked += s.gains_recomputed;
+      w.nonzero_delta_updates += s.applied;
+    }
+    return w;
+  }
+};
+
+class ParallelFmRefiner {
+ public:
+  /// The problem must outlive the refiner.  `pool` (not owned, may be
+  /// null) supplies the workers; the shard count equals the pool's
+  /// thread count (1 when null) and, by the shard.h merge lemma, has no
+  /// effect on results.
+  ParallelFmRefiner(const PartitionProblem& problem, FmConfig config,
+                    ThreadPool* pool);
+
+  /// Refine `state` (fully assigned) in place.  The Rng is part of the
+  /// engine interface but never consumed: synchronous rounds make no
+  /// randomized decisions, which is what keeps them shard-invariant.
+  ParallelFmResult refine(PartitionState& state, Rng& rng);
+
+  const FmConfig& config() const { return config_; }
+
+ private:
+  /// Recompute snapshot gains of dirty vertices (parallel), returning
+  /// the number recomputed.
+  std::size_t freeze_gains(const PartitionState& state);
+  /// Collect this round's proposals into proposals_ (parallel propose +
+  /// deterministic shard-order merge + stable gain sort).
+  void propose(const PartitionState& state);
+  /// Mark every vertex whose gain a kept move may have changed.
+  void mark_dirty(std::span<const VertexId> kept);
+
+  Weight imbalance(Weight w0) const;
+
+  const PartitionProblem* problem_;
+  FmConfig config_;
+  AuditConfig audit_;
+  ThreadPool* pool_;  // not owned
+  std::size_t shards_ = 1;
+
+  std::vector<Gain> gain_;            ///< frozen per-vertex gain snapshot
+  std::vector<std::uint8_t> dirty_;   ///< gain_[v] needs a recompute
+  std::vector<std::uint8_t> movable_; ///< not fixed, not oversized-excluded
+  std::vector<std::vector<MoveProposal>> shard_proposals_;
+  std::vector<MoveProposal> proposals_;
+  std::vector<VertexId> kept_moves_;
+  std::vector<std::uint8_t> moved_scratch_;
+
+  /// Per-round gain-recompute tally.  Workers of the freeze phase
+  /// accumulate their shard counts here; integer addition commutes, so
+  /// the total is scheduling-invariant even though the update order is
+  /// not.  Lock discipline is checked by vpart_lint (DESIGN.md §12).
+  std::mutex work_mutex_;
+  std::size_t round_gains_recomputed_ = 0;  // guarded_by(work_mutex_)
+};
+
+}  // namespace vlsipart

@@ -21,13 +21,33 @@ Weight FlatFmPartitioner::run_start(const PartitionProblem& problem, Rng& rng,
   parts = make_initial(problem, initial_, start_index, rng);
   if (&problem != bound_problem_ || problem.graph != bound_graph_) {
     state_ = std::make_unique<PartitionState>(*problem.graph);
-    refiner_ = std::make_unique<FmRefiner>(problem, config_);
+    if (config_.refine_threads > 1) {
+      if (pool_ == nullptr) {
+        pool_ = std::make_unique<ThreadPool>(config_.refine_threads);
+      }
+      parallel_refiner_ =
+          std::make_unique<ParallelFmRefiner>(problem, config_, pool_.get());
+    } else {
+      refiner_ = std::make_unique<FmRefiner>(problem, config_);
+    }
     bound_problem_ = &problem;
     bound_graph_ = problem.graph;
   }
   state_->assign(parts);
-  last_result_ = refiner_->refine(*state_, rng);
-  work_.absorb(last_result_.update_work());
+  if (parallel_refiner_ != nullptr) {
+    const ParallelFmResult result = parallel_refiner_->refine(*state_, rng);
+    work_.absorb(result.update_work());
+    // Surface the round stats through the serial result shape so the
+    // corking/diagnostic consumers keep working against either engine.
+    last_result_ = FmResult{};
+    last_result_.initial_cut = result.initial_cut;
+    last_result_.final_cut = result.final_cut;
+    last_result_.passes = result.rounds;
+    last_result_.total_moves = result.total_moves;
+  } else {
+    last_result_ = refiner_->refine(*state_, rng);
+    work_.absorb(last_result_.update_work());
+  }
   parts = state_->parts();
   return state_->cut();
 }

@@ -42,6 +42,11 @@ struct CoarsenConfig {
   /// Nets larger than this do not contribute to ratings (huge clock-
   /// class nets carry no clustering signal and are expensive to scan).
   std::size_t max_rated_net_size = 64;
+  /// Worker threads for coarsening.  1 = the serial random-order
+  /// coarsener below (bit-identical to historical behavior); > 1 selects
+  /// the two-phase rate/resolve coarsener (parallel_coarsen.h), whose
+  /// hierarchy is identical for every thread count.
+  std::size_t coarsen_threads = 1;
   /// If true, only merge vertices currently in the same part — the
   /// restricted coarsening used by V-cycling [25][26].  Not a CLI knob:
   /// vcycle() sets it internally when re-coarsening around an existing

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "src/part/core/parallel_refine.h"
+#include "src/part/ml/parallel_coarsen.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -18,6 +20,14 @@ std::unique_ptr<Bipartitioner> MlPartitioner::clone() const {
   return std::make_unique<MlPartitioner>(config_, name_);
 }
 
+ThreadPool* MlPartitioner::acquire_pool() {
+  const std::size_t threads = std::max(config_.refine.refine_threads,
+                                       config_.coarsen.coarsen_threads);
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
+  return pool_.get();
+}
+
 Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
                                    std::vector<PartId>& parts,
                                    bool restricted) {
@@ -26,8 +36,13 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
   CoarsenConfig coarsen_config = config_.coarsen;
   coarsen_config.respect_parts = restricted;
   const std::vector<PartId> guide = restricted ? parts : std::vector<PartId>{};
-  std::vector<CoarsenLevel> levels = build_hierarchy(
-      fine, coarsen_config, problem.fixed, guide, rng, &contraction_memory_);
+  std::vector<CoarsenLevel> levels =
+      coarsen_config.coarsen_threads > 1
+          ? parallel_build_hierarchy(fine, coarsen_config, problem.fixed,
+                                     guide, acquire_pool(),
+                                     &contraction_memory_)
+          : build_hierarchy(fine, coarsen_config, problem.fixed, guide, rng,
+                            &contraction_memory_);
 
   // Under runtime audits, every contracted hypergraph gets the full
   // structural validation (offset monotonicity, incidence-direction
@@ -54,6 +69,20 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
   const Hypergraph* coarsest =
       levels.empty() ? &fine : &levels.back().coarse;
 
+  // Level refinement dispatch: serial FM at refine_threads=1 (the
+  // historical, golden-digest-pinned path), the synchronous-round
+  // parallel engine otherwise.
+  const bool par_refine = config_.refine.refine_threads > 1;
+  auto refine_in_place = [&](const PartitionProblem& p, PartitionState& s) {
+    if (par_refine) {
+      ParallelFmRefiner refiner(p, config_.refine, acquire_pool());
+      work_.absorb(refiner.refine(s, rng).update_work());
+    } else {
+      FmRefiner refiner(p, config_.refine);
+      work_.absorb(refiner.refine(s, rng).update_work());
+    }
+  };
+
   PartitionProblem coarse_problem;
   coarse_problem.graph = coarsest;
   coarse_problem.balance = problem.balance;
@@ -74,19 +103,32 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
     }
     PartitionState state(*coarsest);
     state.assign(coarse_parts);
-    FmRefiner refiner(coarse_problem, config_.refine);
-    work_.absorb(refiner.refine(state, rng).update_work());
+    refine_in_place(coarse_problem, state);
     coarse_parts = state.parts();
   } else {
     Weight best = std::numeric_limits<Weight>::max();
-    FmRefiner refiner(coarse_problem, config_.refine);
+    // The coarsest-level refiner is hoisted out of the tries loop (one
+    // construction, as before) for either engine.
+    std::unique_ptr<FmRefiner> serial_refiner;
+    std::unique_ptr<ParallelFmRefiner> parallel_refiner;
+    if (par_refine) {
+      parallel_refiner = std::make_unique<ParallelFmRefiner>(
+          coarse_problem, config_.refine, acquire_pool());
+    } else {
+      serial_refiner =
+          std::make_unique<FmRefiner>(coarse_problem, config_.refine);
+    }
     for (std::size_t t = 0; t < std::max<std::size_t>(1, config_.initial_tries);
          ++t) {
       std::vector<PartId> trial =
           make_initial(coarse_problem, config_.initial_scheme, t, rng);
       PartitionState state(*coarsest);
       state.assign(trial);
-      work_.absorb(refiner.refine(state, rng).update_work());
+      if (par_refine) {
+        work_.absorb(parallel_refiner->refine(state, rng).update_work());
+      } else {
+        work_.absorb(serial_refiner->refine(state, rng).update_work());
+      }
       const bool feasible =
           check_solution(coarse_problem, state.parts()).empty();
       const Weight cut = state.cut();
@@ -122,8 +164,7 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
                                              << audit_prev_cut << " to "
                                              << state.cut());
     }
-    FmRefiner refiner(level_problem, config_.refine);
-    work_.absorb(refiner.refine(state, rng).update_work());
+    refine_in_place(level_problem, state);
     coarse_parts = state.parts();
     audit_prev_cut = state.cut();
   }

@@ -24,6 +24,7 @@
 #include "src/part/core/multistart.h"
 #include "src/part/core/partitioner.h"
 #include "src/part/ml/coarsen.h"
+#include "src/util/thread_pool.h"
 
 namespace vlsipart {
 
@@ -68,7 +69,14 @@ class MlPartitioner final : public Bipartitioner {
   Weight run_internal(const PartitionProblem& problem, Rng& rng,
                       std::vector<PartId>& parts, bool restricted);
 
+  /// Lazily created owned pool, sized max(refine_threads,
+  /// coarsen_threads); nullptr while both knobs are 1.  Owned (not
+  /// shared) so cloned engines in parallel multistart get private
+  /// workers.
+  ThreadPool* acquire_pool();
+
   MlConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
   std::string name_;
   /// Gain-update work accumulated over every refine at every level.
   UpdateWork work_;

@@ -1,0 +1,209 @@
+#include "src/part/ml/parallel_coarsen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/logging.h"
+#include "src/util/shard.h"
+
+namespace vlsipart {
+namespace {
+
+// Same derivation as the serial coarsener (coarsen.cpp): never below the
+// largest single vertex, roughly total/coarsen_to otherwise.
+Weight parallel_max_cluster_weight(const Hypergraph& h,
+                                   const CoarsenConfig& config) {
+  if (config.max_cluster_weight > 0) return config.max_cluster_weight;
+  const Weight cap = std::max<Weight>(
+      1, h.total_vertex_weight() /
+             static_cast<Weight>(std::max<std::size_t>(config.coarsen_to, 32)));
+  return std::max(cap, h.max_vertex_weight());
+}
+
+}  // namespace
+
+CoarsenLevel parallel_coarsen_once(const Hypergraph& h,
+                                   const CoarsenConfig& config,
+                                   const std::vector<PartId>& fixed,
+                                   const std::vector<PartId>& parts,
+                                   ThreadPool* pool,
+                                   ContractionMemory* memory) {
+  const std::size_t n = h.num_vertices();
+  const Weight max_cw = parallel_max_cluster_weight(h, config);
+  const std::size_t shards =
+      pool != nullptr ? std::max<std::size_t>(1, pool->num_threads()) : 1;
+
+  auto is_fixed = [&fixed](VertexId v) {
+    return !fixed.empty() && fixed[v] != kNoPart;
+  };
+  const bool check_parts = config.respect_parts && !parts.empty();
+
+  // Phase 1: every vertex independently rates its neighbors against the
+  // immutable fine graph and records its preferred partner.  Per-shard
+  // scatter-accumulate scratch; writes to pref[] are confined to the
+  // shard's own contiguous range.
+  std::vector<VertexId> pref(n, kInvalidVertex);
+  std::vector<std::vector<double>> shard_rating(shards);
+  std::vector<std::vector<VertexId>> shard_touched(shards);
+
+  auto rate_shard = [&](std::size_t shard) {
+    const ShardRange range = shard_range(n, shards, shard);
+    std::vector<double>& rating = shard_rating[shard];
+    std::vector<VertexId>& touched = shard_touched[shard];
+    rating.assign(n, 0.0);
+    touched.clear();
+    for (std::size_t vi = range.begin; vi < range.end; ++vi) {
+      const VertexId v = static_cast<VertexId>(vi);
+      if (is_fixed(v)) continue;  // fixed vertices stay singletons
+      touched.clear();
+      for (const EdgeId e : h.incident_edges(v)) {
+        const std::size_t size = h.edge_size(e);
+        if (size < 2 || size > config.max_rated_net_size) continue;
+        const double score = static_cast<double>(h.edge_weight(e)) /
+                             static_cast<double>(size - 1);
+        for (const VertexId u : h.pins(e)) {
+          if (u == v || is_fixed(u)) continue;
+          if (check_parts && parts[u] != parts[v]) continue;
+          if (h.vertex_weight(u) + h.vertex_weight(v) > max_cw) continue;
+          if (rating[u] == 0.0) touched.push_back(u);
+          rating[u] += score;
+        }
+      }
+      VertexId best = kInvalidVertex;
+      double best_rating = 0.0;
+      for (const VertexId u : touched) {
+        // Highest rating wins; ties go to the lowest partner id.  The
+        // accumulation order over v's nets is fixed by the CSR layout,
+        // so the scores — and hence the choice — never depend on the
+        // shard count.
+        if (rating[u] > best_rating ||
+            (rating[u] == best_rating && best != kInvalidVertex && u < best)) {
+          best = u;
+          best_rating = rating[u];
+        }
+      }
+      for (const VertexId u : touched) rating[u] = 0.0;
+      pref[vi] = best;
+    }
+  };
+  if (pool != nullptr && shards > 1) {
+    pool->parallel_for_dynamic(shards, rate_shard);
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) rate_shard(s);
+  }
+
+  // Phase 2: order-independent resolution of preferences into clusters.
+  std::vector<VertexId> cluster_of(n);
+  std::iota(cluster_of.begin(), cluster_of.end(), 0);
+
+  if (config.scheme == CoarsenScheme::kHeavyEdgeMatching) {
+    // Mutual pairs only.  pref is a function of the vertex, so the pair
+    // set {v, pref[v]} with pref[pref[v]] == v is disjoint by
+    // construction — there is no resolution order to depend on.
+    for (std::size_t v = 0; v < n; ++v) {
+      const VertexId u = pref[v];
+      if (u == kInvalidVertex || u >= static_cast<VertexId>(v)) continue;
+      if (pref[u] == static_cast<VertexId>(v)) {
+        cluster_of[v] = u;  // lowest id leads
+      }
+    }
+  } else {
+    // First-choice: connected components of the pointer graph
+    // v -> pref[v], leader = lowest id.  Union-find with min-id roots;
+    // the resulting partition is a property of the edge set, not of the
+    // union order.
+    auto find = [&cluster_of](VertexId x) {
+      while (cluster_of[x] != x) {
+        cluster_of[x] = cluster_of[cluster_of[x]];
+        x = cluster_of[x];
+      }
+      return x;
+    };
+    for (std::size_t v = 0; v < n; ++v) {
+      if (pref[v] == kInvalidVertex) continue;
+      const VertexId a = find(static_cast<VertexId>(v));
+      const VertexId b = find(pref[v]);
+      if (a == b) continue;
+      if (a < b) {
+        cluster_of[b] = a;
+      } else {
+        cluster_of[a] = b;
+      }
+    }
+    // Components can chain past the weight cap (a -> b and c -> b merge
+    // three vertices even though only the pairs were checked).  Trim by
+    // an ascending-id sweep: the root is the component's minimum id, so
+    // it is seen first and seeds the running sub-cluster; later members
+    // that no longer fit start a fresh sub-cluster at their own id.
+    // Roots are snapshotted first because the sweep repurposes
+    // cluster_of[] as its output.
+    std::vector<VertexId> root_of(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      root_of[v] = find(static_cast<VertexId>(v));
+    }
+    std::vector<VertexId> sub_leader(n, kInvalidVertex);
+    std::vector<Weight> sub_weight(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      const VertexId root = root_of[v];
+      const Weight wv = h.vertex_weight(static_cast<VertexId>(v));
+      if (sub_leader[root] != kInvalidVertex &&
+          sub_weight[root] + wv <= max_cw) {
+        cluster_of[v] = sub_leader[root];
+        sub_weight[root] += wv;
+      } else {
+        cluster_of[v] = static_cast<VertexId>(v);
+        sub_leader[root] = static_cast<VertexId>(v);
+        sub_weight[root] = wv;
+      }
+    }
+  }
+
+  // Flatten matching-mode pointers (depth <= 1 already; harmless) and
+  // hand the flat cluster ids to the allocation-free contraction.
+  for (std::size_t v = 0; v < n; ++v) {
+    VertexId c = cluster_of[v];
+    while (cluster_of[c] != c) c = cluster_of[c];
+    cluster_of[v] = c;
+  }
+
+  ContractionResult contraction = contract(h, cluster_of, memory);
+  CoarsenLevel level;
+  level.coarse = std::move(contraction.coarse);
+  level.fine_to_coarse = std::move(contraction.fine_to_coarse);
+  return level;
+}
+
+std::vector<CoarsenLevel> parallel_build_hierarchy(
+    const Hypergraph& h, const CoarsenConfig& config,
+    const std::vector<PartId>& fixed, const std::vector<PartId>& parts,
+    ThreadPool* pool, ContractionMemory* memory) {
+  std::vector<CoarsenLevel> levels;
+  const Hypergraph* current = &h;
+  std::vector<PartId> current_fixed = fixed;
+  std::vector<PartId> current_parts = parts;
+
+  while (current->num_vertices() > config.coarsen_to) {
+    CoarsenLevel level = parallel_coarsen_once(*current, config, current_fixed,
+                                               current_parts, pool, memory);
+    const double reduction =
+        static_cast<double>(level.coarse.num_vertices()) /
+        static_cast<double>(current->num_vertices());
+    if (reduction > config.min_reduction) break;  // stalled
+    if (!current_fixed.empty()) {
+      current_fixed = project_fixed(current_fixed, level.fine_to_coarse,
+                                    level.coarse.num_vertices());
+    }
+    if (config.respect_parts && !current_parts.empty()) {
+      std::vector<PartId> coarse_parts(level.coarse.num_vertices(), kNoPart);
+      for (std::size_t v = 0; v < current_parts.size(); ++v) {
+        coarse_parts[level.fine_to_coarse[v]] = current_parts[v];
+      }
+      current_parts = std::move(coarse_parts);
+    }
+    levels.push_back(std::move(level));
+    current = &levels.back().coarse;
+  }
+  return levels;
+}
+
+}  // namespace vlsipart

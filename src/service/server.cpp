@@ -57,18 +57,34 @@ namespace {
 /// these are single-threaded by construction; keeping them across jobs
 /// reuses the ML contraction scratch and flat-FM gain/move buffers.
 struct WorkerEngines {
+  std::size_t refine_threads = 1;
+  std::size_t coarsen_threads = 1;
   MlPartitioner ml;
   FlatFmPartitioner flat;
   FlatFmPartitioner clip;
 
-  WorkerEngines()
-      : ml(MlConfig{}), flat(FmConfig{}), clip(make_clip_config()) {}
+  WorkerEngines(std::size_t refine, std::size_t coarsen)
+      : refine_threads(refine == 0 ? 1 : refine),
+        coarsen_threads(coarsen == 0 ? 1 : coarsen),
+        ml(make_ml_config(refine_threads, coarsen_threads)),
+        flat(make_fm_config(/*clip_mode=*/false, refine_threads)),
+        clip(make_fm_config(/*clip_mode=*/true, refine_threads)) {}
 
-  static FmConfig make_clip_config() {
+  static FmConfig make_fm_config(bool clip_mode, std::size_t threads) {
     FmConfig fm;
-    fm.clip = true;
-    fm.exclude_oversized = true;
+    fm.clip = clip_mode;
+    fm.exclude_oversized = clip_mode;
+    fm.refine_threads = threads;
     return fm;
+  }
+  static FmConfig make_clip_config() {
+    return make_fm_config(/*clip_mode=*/true, 1);
+  }
+  static MlConfig make_ml_config(std::size_t refine, std::size_t coarsen) {
+    MlConfig config;
+    config.refine.refine_threads = refine;
+    config.coarsen.coarsen_threads = coarsen;
+    return config;
   }
 };
 
@@ -118,6 +134,8 @@ ExecOutcome execute_request(const SubmitRequest& req, const Hypergraph& h,
     config.tolerance = req.tolerance;
     config.use_ml = (req.engine == "ml");
     if (req.engine == "clip") config.fm = WorkerEngines::make_clip_config();
+    config.fm.refine_threads = engines.refine_threads;
+    config.ml.coarsen.coarsen_threads = engines.coarsen_threads;
     config.starts_per_level = req.starts;
     config.seed = req.seed;
     KwayResult r = recursive_bisection(h, config);
@@ -541,7 +559,7 @@ void PartitionService::finish_job(const std::shared_ptr<Job>& job,
 
 void PartitionService::worker_driver(std::size_t slot) {
   (void)slot;
-  WorkerEngines engines;
+  WorkerEngines engines(config_.refine_threads, config_.coarsen_threads);
   while (true) {
     std::shared_ptr<Job> job;
     {

@@ -1,0 +1,39 @@
+// Contiguous index-range sharding for deterministic parallel phases.
+//
+// The synchronous-round engines (parallel_refine.h, parallel_coarsen.h)
+// split the vertex id space into contiguous ascending ranges, hand one
+// range to each worker, and merge per-shard outputs by shard index.
+// Because every shard scans its range in ascending id order and the
+// merge concatenates shards in range order, the merged stream is the
+// full ascending id scan regardless of HOW MANY shards the work was cut
+// into — this is the lemma behind "bit-identical at any thread count":
+// the shard count may change scheduling, never the merged sequence.
+#pragma once
+
+#include <cstddef>
+
+namespace vlsipart {
+
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// Range of shard `i` of `num_shards` over [0, n): the first n %
+/// num_shards shards get one extra element, so sizes differ by at most
+/// one and the union is exactly [0, n) in order.
+inline ShardRange shard_range(std::size_t n, std::size_t num_shards,
+                              std::size_t i) {
+  if (num_shards == 0) num_shards = 1;
+  const std::size_t base = n / num_shards;
+  const std::size_t extra = n % num_shards;
+  ShardRange r;
+  r.begin = i * base + (i < extra ? i : extra);
+  r.end = r.begin + base + (i < extra ? 1 : 0);
+  return r;
+}
+
+}  // namespace vlsipart

@@ -17,7 +17,12 @@ Usage:
 Exit status: 0 when no family regresses more than --threshold (default
 15%), 1 otherwise.  --warn-only always exits 0 (the CI soft gate; the
 hard gate is the ctest registered under -DVLSIPART_BENCH_GATE=ON, label
-"bench").
+"bench").  --strict REGEX carves a blocking subset out of --warn-only:
+families matching REGEX still fail the run (exit 1) even in warn-only
+mode.  CI uses this for the low-variance gain-bucket families
+(insert/remove/update-key), whose single-digit-nanosecond operations
+are stable enough on shared runners for a hard gate, while the
+wall-clock-heavy families stay advisory.
 
 Baselines are only comparable between identical build types: the script
 refuses (exit 2) when the two files carry different
@@ -28,6 +33,7 @@ compiled, not this repository's code, and is ignored.
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 import tempfile
@@ -98,7 +104,13 @@ def main():
         action="store_true",
         help="report regressions but exit 0 (CI soft gate)",
     )
+    parser.add_argument(
+        "--strict",
+        metavar="REGEX",
+        help="families matching REGEX block (exit 1) even under --warn-only",
+    )
     args = parser.parse_args()
+    strict_re = re.compile(args.strict) if args.strict else None
 
     if bool(args.current) == bool(args.bench):
         parser.error("exactly one of --current / --bench is required")
@@ -166,6 +178,18 @@ def main():
             f"{args.threshold:.0%}: {', '.join(regressions)}",
             file=sys.stderr,
         )
+        strict_hits = (
+            [n for n in regressions if strict_re.search(n)]
+            if strict_re
+            else []
+        )
+        if strict_hits:
+            print(
+                "strict families regressed (blocking even under "
+                f"--warn-only): {', '.join(strict_hits)}",
+                file=sys.stderr,
+            )
+            return 1
         if args.warn_only:
             print("warn-only mode: exiting 0", file=sys.stderr)
             return 0

@@ -18,6 +18,9 @@
 //   --stats-interval 0     seconds between stats log lines (0 = off)
 //   --instance-cache 8     resident built hypergraphs
 //   --result-cache 256     resident finished results
+//   --refine-threads 1     intra-run refinement threads per engine
+//                          (1 = serial FM; >1 = synchronous-round engine)
+//   --coarsen-threads 1    intra-run coarsening threads per engine
 //   --verbose              per-event log lines on stderr
 #include <cstdio>
 #include <exception>
@@ -34,7 +37,8 @@ int main(int argc, char** argv) {
   try {
     args.check_known({"socket", "workers", "queue", "max-payload-mb",
                       "idle-timeout-ms", "drain-grace-ms", "stats-interval",
-                      "instance-cache", "result-cache", "verbose"});
+                      "instance-cache", "result-cache", "refine-threads",
+                      "coarsen-threads", "verbose"});
     ServiceConfig config;
     std::string endpoint_error;
     if (!Endpoint::parse(args.get("socket", "unix:/tmp/vpartd.sock"),
@@ -57,6 +61,10 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("instance-cache", 8));
     config.result_cache_capacity =
         static_cast<std::size_t>(args.get_int("result-cache", 256));
+    config.refine_threads =
+        static_cast<std::size_t>(args.get_int("refine-threads", 1));
+    config.coarsen_threads =
+        static_cast<std::size_t>(args.get_int("coarsen-threads", 1));
     config.verbose = args.get_bool("verbose");
 
     install_shutdown_handler();
