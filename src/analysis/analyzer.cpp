@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/callgraph.h"
 #include "src/analysis/lexer.h"
 #include "src/analysis/rules_internal.h"
 
@@ -173,8 +174,8 @@ AnalysisResult analyze_buffers(const std::vector<SourceBuffer>& files,
 
   RuleFilter filter;
   for (const std::string& id : options.only_rules) {
-    if (find_rule(id) == nullptr) {
-      result.errors.push_back("unknown rule: " + id);
+    if (find_rule(id) == nullptr && !is_rule_family(id)) {
+      result.errors.push_back("unknown rule or family: " + id);
     }
     filter.only.insert(id);
   }
@@ -203,7 +204,12 @@ AnalysisResult analyze_buffers(const std::vector<SourceBuffer>& files,
     if (unit.linted) run_determinism_rules(unit, filter, raw);
   }
   run_knob_rule(corpus, filter, raw);
-  run_lock_rule(corpus, filter, raw);
+
+  // The semantic rule families share one call graph over the corpus.
+  const CallGraph graph = build_call_graph(corpus);
+  run_lock_rule(corpus, graph, filter, raw);
+  run_hotpath_rule(corpus, graph, filter, raw, result.suppressed);
+  run_round_rules(corpus, graph, filter, raw);
 
   // Per-file allow() maps, built once.
   std::map<std::string, std::map<std::string, std::set<int>>> allows;

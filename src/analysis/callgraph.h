@@ -1,0 +1,55 @@
+// Call graph over the corpus, built on the parser's function extractor.
+//
+// Call sites are recognized as `name(`, `obj.name(`, `obj->name(`,
+// `Qual::name(` and `name<...>(` inside function bodies and resolved to
+// repo-defined functions by a name + arity heuristic:
+//   * candidates share the unqualified name and accept the argument
+//     count (default arguments lower a definition's minimum arity);
+//   * an explicit `Qual::` qualifier restricts to definitions owned by
+//     that class (or a namespace segment of the qualified name) when
+//     any match; `std::`-qualified calls never resolve to repo code;
+//   * when candidates exist in the caller's own translation unit, the
+//     cross-file candidates are dropped (out-of-line members and file-
+//     local helpers win over same-named functions elsewhere).
+// Unresolvable names produce no edge; rules treat them as opaque
+// primitives.  Lambdas are nested FunctionDefs reachable through
+// `children`, so reachability passes can include a function's lambda
+// bodies without pretending to track std::function values.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/analysis/parser.h"
+#include "src/analysis/rules_internal.h"
+
+namespace vlsipart::analysis {
+
+struct CallSite {
+  std::string name;       ///< unqualified callee name
+  std::string qualifier;  ///< "std", a class name, or ""
+  bool member = false;    ///< object.name( / object->name(
+  std::size_t args = 0;
+  std::size_t token = 0;  ///< index of the name token in the unit
+  int line = 0;
+  int col = 0;
+  std::vector<int> callees;  ///< resolved CallGraph::functions indices
+};
+
+struct CallGraph {
+  /// All function definitions across the corpus (lambdas included).
+  std::vector<FunctionDef> functions;
+  std::vector<int> unit_of;                ///< parallel: corpus unit index
+  std::vector<std::vector<int>> children;  ///< nested defs (lambdas)
+  std::vector<std::vector<CallSite>> calls;  ///< per function, token order
+  /// Function indices per corpus unit, in body order.
+  std::vector<std::vector<int>> unit_functions;
+
+  /// Innermost function of `unit` containing token index `tok`, or -1.
+  int function_at(int unit, std::size_t tok) const;
+};
+
+CallGraph build_call_graph(const Corpus& corpus);
+
+}  // namespace vlsipart::analysis

@@ -51,6 +51,17 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"lock-discipline", "lock",
        "field annotated guarded_by(<mutex>) accessed without holding that "
        "mutex"},
+      {"hot-path-purity", "hotpath",
+       "allocation, locking, IO or throw in code reachable from a "
+       "// hot-path: root function — the FM inner loop must not touch the "
+       "heap; justify amortized sites with // hot-path: allow(<reason>)"},
+      {"round-frozen-write", "round",
+       "worker-shard lambda writes a captured array at an index not "
+       "derived from its shard range (or grows a captured container) — "
+       "shards may only write slots they own"},
+      {"round-rng-in-shard", "round",
+       "RNG draw inside a worker-shard lambda — per-shard draws make the "
+       "stream depend on the shard count; draw before the round"},
   };
   return kCatalog;
 }
@@ -60,6 +71,13 @@ const RuleInfo* find_rule(const std::string& id) {
     if (id == r.id) return &r;
   }
   return nullptr;
+}
+
+bool is_rule_family(const std::string& name) {
+  for (const RuleInfo& r : rule_catalog()) {
+    if (name == r.family) return true;
+  }
+  return false;
 }
 
 }  // namespace vlsipart::analysis

@@ -17,7 +17,8 @@ struct Finding {
 };
 
 /// One rule in the catalog (drives --list-rules and the SARIF rule
-/// table).  `family` is "determinism", "knob" or "lock".
+/// table).  `family` is "determinism", "knob", "lock", "hotpath" or
+/// "round".
 struct RuleInfo {
   const char* id;
   const char* family;
@@ -29,5 +30,9 @@ const std::vector<RuleInfo>& rule_catalog();
 
 /// nullptr when `id` names no known rule.
 const RuleInfo* find_rule(const std::string& id);
+
+/// True when `name` is the family of at least one catalog rule
+/// (--rules accepts family names as well as rule ids).
+bool is_rule_family(const std::string& name);
 
 }  // namespace vlsipart::analysis

@@ -134,7 +134,10 @@ class Lexer {
 
   /// One logical preprocessor line: backslash-newline continuations are
   /// consumed; a trailing // comment is left for the comment lexer so
-  /// annotations on #-lines still work.
+  /// annotations on #-lines still work.  String, char and raw-string
+  /// literals on the line are skipped whole, so `#define URL "http://x"`
+  /// keeps its full replacement text and a raw string containing `*/`
+  /// does not open a phantom comment.
   void lex_preprocessor() {
     const int line = line_;
     const int col = col_;
@@ -149,10 +152,81 @@ class Lexer {
         continue;
       }
       if (c == '\n') break;
+      if (c == '"' && raw_prefix_ends_at(i_)) {
+        skip_raw_string_body();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        skip_quoted_in_line(c);
+        continue;
+      }
       ++i_;
       ++col_;
     }
     emit(TokenKind::kPreprocessor, src_.substr(start, i_ - start), line, col);
+  }
+
+  /// Does a raw-string encoding prefix (R, u8R, ...) end right before
+  /// position `pos` (which holds a '"')?
+  bool raw_prefix_ends_at(std::size_t pos) const {
+    std::size_t b = pos;
+    while (b > 0 && ident_char(src_[b - 1])) --b;
+    if (b == pos) return false;
+    return raw_string_prefix(src_.substr(b, pos - b));
+  }
+
+  /// Advance past a quoted literal without emitting (used inside
+  /// preprocessor lines).  i_ points at the opening quote.
+  void skip_quoted_in_line(char quote) {
+    ++i_;
+    ++col_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && i_ + 1 < src_.size()) {
+        if (peek(1) == '\n') {
+          ++i_;
+          advance_line();
+          at_line_start_ = false;
+        } else {
+          i_ += 2;
+          col_ += 2;
+        }
+        continue;
+      }
+      if (c == '\n') break;  // unterminated: stop at end of line
+      ++i_;
+      ++col_;
+      if (c == quote) break;
+    }
+  }
+
+  /// Advance past R"delim( ... )delim" without emitting.  i_ points at
+  /// the opening '"'.
+  void skip_raw_string_body() {
+    ++i_;
+    ++col_;
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(' && src_[i_] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(src_[i_]);
+      ++i_;
+      ++col_;
+    }
+    const std::string close = ")" + delim + "\"";
+    while (i_ < src_.size()) {
+      if (src_[i_] == ')' && src_.compare(i_, close.size(), close) == 0) {
+        i_ += close.size();
+        col_ += static_cast<int>(close.size());
+        return;
+      }
+      if (src_[i_] == '\n') {
+        advance_line();
+        at_line_start_ = false;
+      } else {
+        ++i_;
+        ++col_;
+      }
+    }
   }
 
   void lex_quoted(char quote, TokenKind kind) {
@@ -226,18 +300,27 @@ class Lexer {
       ++col_;
     }
     std::string text = src_.substr(start, i_ - start);
+    const bool encoding_prefix =
+        text == "u8" || text == "u" || text == "U" || text == "L";
     if (i_ < src_.size() && src_[i_] == '"') {
       if (raw_string_prefix(text)) {
         lex_raw_string(line, col, start);
         return;
       }
-      if (text == "u8" || text == "u" || text == "U" || text == "L") {
+      if (encoding_prefix) {
         lex_string();  // encoding-prefixed ordinary string
         out_.tokens.back().line = line;
         out_.tokens.back().col = col;
         out_.tokens.back().text = text + out_.tokens.back().text;
         return;
       }
+    }
+    if (i_ < src_.size() && src_[i_] == '\'' && encoding_prefix) {
+      lex_char();  // encoding-prefixed char literal: u8'a', L'x'
+      out_.tokens.back().line = line;
+      out_.tokens.back().col = col;
+      out_.tokens.back().text = text + out_.tokens.back().text;
+      return;
     }
     emit(TokenKind::kIdentifier, std::move(text), line, col);
   }

@@ -27,8 +27,12 @@ struct Corpus {
 
 struct RuleFilter {
   std::set<std::string> only;  ///< empty = all rules enabled
+  /// A rule is enabled when the filter is empty, names the rule id, or
+  /// names the rule's family ("determinism", "hotpath", "lock", ...).
   bool enabled(const char* id) const {
-    return only.empty() || only.count(id) != 0;
+    if (only.empty() || only.count(id) != 0) return true;
+    const RuleInfo* info = find_rule(id);
+    return info != nullptr && only.count(info->family) != 0;
   }
 };
 
@@ -43,8 +47,24 @@ void run_determinism_rules(const FileUnit& unit, const RuleFilter& filter,
 void run_knob_rule(const Corpus& corpus, const RuleFilter& filter,
                    std::vector<Finding>& out);
 
-/// Lockset-lite lock-discipline pass over the whole corpus.
-void run_lock_rule(const Corpus& corpus, const RuleFilter& filter,
-                   std::vector<Finding>& out);
+struct CallGraph;  // callgraph.h
+
+/// Lockset-lite lock-discipline pass over the whole corpus.  `holds()`
+/// facts propagate through the call graph: a helper whose in-scope call
+/// sites all hold a mutex is checked as if it held it too.
+void run_lock_rule(const Corpus& corpus, const CallGraph& graph,
+                   const RuleFilter& filter, std::vector<Finding>& out);
+
+/// Hot-path purity: no allocation/locking/IO/throw token reachable from
+/// a `// hot-path: root` function.  `// hot-path: allow(<reason>)`
+/// suppressions are counted in `suppressed`.
+void run_hotpath_rule(const Corpus& corpus, const CallGraph& graph,
+                      const RuleFilter& filter, std::vector<Finding>& out,
+                      std::size_t& suppressed);
+
+/// Parallel-round protocol checks on worker-shard lambdas in
+/// parallel_* translation units.
+void run_round_rules(const Corpus& corpus, const CallGraph& graph,
+                     const RuleFilter& filter, std::vector<Finding>& out);
 
 }  // namespace vlsipart::analysis

@@ -1,6 +1,6 @@
 // Lock-discipline rule: lockset-lite checking for the concurrent
-// service layer (src/service/) and the thread pool (src/util/
-// thread_pool).
+// service layer (src/service/), the thread pool (src/util/
+// thread_pool) and the synchronous-round refiner state.
 //
 // Contract: a field annotated
 //     Type field_;  // guarded_by(some_mutex_)
@@ -11,6 +11,15 @@
 // a comment inside the function body:
 //     // det-lint: holds(some_mutex_)
 //
+// `holds()` facts also propagate through the call graph: a helper
+// whose in-scope call sites ALL occur while a mutex is held (lexically
+// or through a caller's own effective holds) is checked as if it held
+// that mutex — so a `*_locked` helper calling a second helper is
+// checked transitively without annotating every level.  Worker-lambda
+// bodies are lexically inside their defining function, so they inherit
+// the capture context's lockset (documented approximation: a lambda
+// executed after its scope unlocked is not modeled).
+//
 // "Lite" means token-positional, not path-sensitive; the documented
 // limitations (DESIGN.md §12):
 //   * unlock()/relock on a unique_lock is invisible — the lock is
@@ -20,13 +29,17 @@
 //     matches an annotation guarded_by(mutex) by its last segment;
 //   * annotations bind to field *names* within one header/source pair
 //     (X.h + X.cpp), so same-named fields of two classes in one pair
-//     share their annotation.
+//     share their annotation;
+//   * call sites outside the lock-scope directories (e.g. tests) do
+//     not weaken propagated holds — public entry points that need
+//     checking should keep explicit annotations.
 #include <cstddef>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/analysis/callgraph.h"
 #include "src/analysis/rules_internal.h"
 
 namespace vlsipart::analysis {
@@ -110,6 +123,13 @@ struct GuardedField {
 /// so this is a set, not one site per field.
 using DeclSites = std::set<std::pair<std::string, int>>;
 
+/// Effective ambient lockset per CallGraph function index, computed by
+/// intersecting the locksets of all in-scope call sites.
+using AmbientHolds = std::map<int, std::vector<std::string>>;
+
+/// Locksets observed at call sites of each function.
+using CallSiteLocks = std::map<int, std::vector<std::vector<std::string>>>;
+
 /// Field name declared on `line` of `file`: the last identifier before
 /// the first '=', '{' or ';' among that line's tokens.
 bool field_name_on_line(const LexedFile& file, int line, std::string* name) {
@@ -145,20 +165,41 @@ void collect_guards(const LexedFile& file,
   }
 }
 
+/// One lexical scan of a unit.  In collect mode (`sites` non-null) it
+/// records the lockset at every resolved in-scope call site; in check
+/// mode (`guards` non-empty, `out` non-null) it reports unguarded
+/// accesses.  Both modes consume `ambient` holds: when the scan enters
+/// a function body, that function's propagated lockset is pushed at
+/// the body's depth.
 class LockPass {
  public:
-  LockPass(const LexedFile& file,
+  LockPass(const LexedFile& file, int unit_index, const CallGraph& graph,
+           const AmbientHolds& ambient,
            const std::map<std::string, GuardedField>& guards,
            const DeclSites& decl_sites, const RuleFilter& filter,
-           std::vector<Finding>& out)
+           std::vector<Finding>* out, CallSiteLocks* sites)
       : file_(file),
+        graph_(graph),
+        ambient_(ambient),
         guards_(guards),
         decl_sites_(decl_sites),
         filter_(filter),
-        out_(out) {
+        out_(out),
+        sites_(sites) {
     for (const Comment& c : file.comments) {
       for (const std::string& m : directive_args(c.text, "holds")) {
         holds_.emplace_back(c.line, m);
+      }
+    }
+    if (unit_index >= 0 &&
+        unit_index < static_cast<int>(graph.unit_functions.size())) {
+      for (int f : graph.unit_functions[unit_index]) {
+        body_starts_[graph.functions[f].body_begin] = f;
+        if (sites_ != nullptr) {
+          for (const CallSite& site : graph.calls[f]) {
+            if (!site.callees.empty()) call_at_[site.token] = &site;
+          }
+        }
       }
     }
   }
@@ -175,6 +216,15 @@ class LockPass {
       }
       if (t.is_punct("{")) {
         ++depth_;
+        const auto start = body_starts_.find(i);
+        if (start != body_starts_.end()) {
+          const auto amb = ambient_.find(start->second);
+          if (amb != ambient_.end()) {
+            for (const std::string& m : amb->second) {
+              locks_.emplace_back(depth_, m);
+            }
+          }
+        }
         continue;
       }
       if (t.is_punct("}")) {
@@ -188,7 +238,13 @@ class LockPass {
         record_lock_acquisition(i);
         continue;
       }
-      if (t.kind == TokenKind::kIdentifier) check_access(i);
+      if (t.kind == TokenKind::kIdentifier) {
+        if (sites_ != nullptr) {
+          const auto call = call_at_.find(i);
+          if (call != call_at_.end()) record_call_site(*call->second);
+        }
+        if (out_ != nullptr) check_access(i);
+      }
     }
   }
 
@@ -236,6 +292,17 @@ class LockPass {
     if (!spec.empty()) locks_.emplace_back(depth_, spec);
   }
 
+  void record_call_site(const CallSite& site) {
+    std::vector<std::string> lockset;
+    for (const auto& [d, held] : locks_) {
+      (void)d;
+      lockset.push_back(held);
+    }
+    for (int callee : site.callees) {
+      (*sites_)[callee].push_back(lockset);
+    }
+  }
+
   void check_access(std::size_t i) {
     const std::vector<Token>& T = file_.tokens;
     const auto it = guards_.find(T[i].text);
@@ -248,7 +315,7 @@ class LockPass {
       if (mutex_matches(held, g.mutex)) return;
     }
     if (!filter_.enabled("lock-discipline")) return;
-    out_.push_back(Finding{
+    out_->push_back(Finding{
         file_.path, T[i].line, T[i].col, "lock-discipline",
         "field '" + T[i].text + "' (guarded_by " + g.mutex +
             ") accessed without holding " + g.mutex +
@@ -257,39 +324,100 @@ class LockPass {
   }
 
   const LexedFile& file_;
+  const CallGraph& graph_;
+  const AmbientHolds& ambient_;
   const std::map<std::string, GuardedField>& guards_;
   const DeclSites& decl_sites_;
   const RuleFilter& filter_;
-  std::vector<Finding>& out_;
+  std::vector<Finding>* out_;
+  CallSiteLocks* sites_;
+  std::map<std::size_t, int> body_starts_;            // token -> function
+  std::map<std::size_t, const CallSite*> call_at_;    // token -> call
   std::vector<std::pair<int, std::string>> locks_;  // (decl depth, mutex)
   std::vector<std::pair<int, std::string>> holds_;  // (line, mutex)
   int depth_ = 0;
 };
 
+/// Intersection of locksets with fuzzy (last-segment) matching: a spec
+/// survives when every lockset contains a matching one.
+std::vector<std::string> intersect_locksets(
+    const std::vector<std::vector<std::string>>& sets) {
+  std::vector<std::string> result = sets.front();
+  for (std::size_t k = 1; k < sets.size(); ++k) {
+    std::vector<std::string> kept;
+    for (const std::string& h : result) {
+      for (const std::string& other : sets[k]) {
+        if (mutex_matches(h, other)) {
+          kept.push_back(h);
+          break;
+        }
+      }
+    }
+    result = std::move(kept);
+    if (result.empty()) break;
+  }
+  return result;
+}
+
 }  // namespace
 
-void run_lock_rule(const Corpus& corpus, const RuleFilter& filter,
-                   std::vector<Finding>& out) {
+void run_lock_rule(const Corpus& corpus, const CallGraph& graph,
+                   const RuleFilter& filter, std::vector<Finding>& out) {
   if (!filter.enabled("lock-discipline")) return;
 
-  // Group in-scope files by stem so X.h annotations govern X.cpp.
-  std::map<std::string, std::vector<const FileUnit*>> groups;
-  for (const FileUnit& unit : corpus.units) {
-    if (in_lock_scope(unit.lexed.path)) {
-      groups[stem_of(unit.lexed.path)].push_back(&unit);
+  // In-scope units, and the in-scope function set for callee filtering.
+  std::vector<int> scope_units;
+  std::set<int> scope_functions;
+  for (std::size_t u = 0; u < corpus.units.size(); ++u) {
+    if (!in_lock_scope(corpus.units[u].lexed.path)) continue;
+    scope_units.push_back(static_cast<int>(u));
+    for (int f : graph.unit_functions[u]) scope_functions.insert(f);
+  }
+  if (scope_units.empty()) return;
+
+  static const std::map<std::string, GuardedField> kNoGuards;
+  static const DeclSites kNoDecls;
+
+  // Fixed point: each iteration scans every in-scope unit with the
+  // current ambient map, collects call-site locksets, and intersects
+  // them per callee.  Holds can only grow, so this converges; the cap
+  // bounds pathological chains.
+  AmbientHolds ambient;
+  for (int iter = 0; iter < 8; ++iter) {
+    CallSiteLocks sites;
+    for (int u : scope_units) {
+      LockPass(corpus.units[u].lexed, u, graph, ambient, kNoGuards, kNoDecls,
+               filter, nullptr, &sites)
+          .run();
     }
+    AmbientHolds next;
+    for (const auto& [callee, locksets] : sites) {
+      if (scope_functions.count(callee) == 0) continue;
+      std::vector<std::string> held = intersect_locksets(locksets);
+      if (!held.empty()) next[callee] = std::move(held);
+    }
+    if (next == ambient) break;
+    ambient = std::move(next);
+  }
+
+  // Group in-scope files by stem so X.h annotations govern X.cpp.
+  std::map<std::string, std::vector<int>> groups;
+  for (int u : scope_units) {
+    groups[stem_of(corpus.units[u].lexed.path)].push_back(u);
   }
   for (const auto& [stem, units] : groups) {
     (void)stem;
     std::map<std::string, GuardedField> guards;
     DeclSites decl_sites;
-    for (const FileUnit* unit : units) {
-      collect_guards(unit->lexed, guards, decl_sites);
+    for (int u : units) {
+      collect_guards(corpus.units[u].lexed, guards, decl_sites);
     }
     if (guards.empty()) continue;
-    for (const FileUnit* unit : units) {
-      if (!unit->linted) continue;
-      LockPass(unit->lexed, guards, decl_sites, filter, out).run();
+    for (int u : units) {
+      if (!corpus.units[u].linted) continue;
+      LockPass(corpus.units[u].lexed, u, graph, ambient, guards, decl_sites,
+               filter, &out, nullptr)
+          .run();
     }
   }
 }

@@ -79,8 +79,8 @@ class BucketArray {
       // Vertex entries of next_/prev_ need no init — they are written
       // before they are read (on push).
       stride_ = stride;
-      next_.resize(total);
-      prev_.resize(total);
+      next_.resize(total);  // hot-path: allow(reset is per-pass setup; buffers reused across passes)
+      prev_.resize(total);  // hot-path: allow(reset is per-pass setup; buffers reused across passes)
       for (std::size_t s = n_; s < total; ++s) {
         next_[s] = static_cast<VertexId>(s);
         prev_[s] = static_cast<VertexId>(s);
@@ -110,13 +110,14 @@ class BucketArray {
   }
 
   /// Insert v at the head of bucket (group, key).  v must be absent.
+  // hot-path: root
   void push_front(VertexId v, int group, Gain key) {
     const std::size_t idx = checked_index(v, key);
     const auto flat = static_cast<std::uint32_t>(
         static_cast<std::size_t>(group) * stride_ + idx);
     const auto sent = static_cast<VertexId>(n_ + flat);
     const VertexId head = next_[sent];
-    if (head == sent) touched_.push_back(flat);
+    if (head == sent) touched_.push_back(flat);  // hot-path: allow(touched-slot log, reused buffer, one entry per nonempty slot per pass)
     bucket_[v] = flat;
     ++count_[group];
     next_[v] = head;
@@ -127,13 +128,14 @@ class BucketArray {
   }
 
   /// Insert v at the tail of bucket (group, key).  v must be absent.
+  // hot-path: root
   void push_back(VertexId v, int group, Gain key) {
     const std::size_t idx = checked_index(v, key);
     const auto flat = static_cast<std::uint32_t>(
         static_cast<std::size_t>(group) * stride_ + idx);
     const auto sent = static_cast<VertexId>(n_ + flat);
     const VertexId tail = prev_[sent];
-    if (tail == sent) touched_.push_back(flat);
+    if (tail == sent) touched_.push_back(flat);  // hot-path: allow(touched-slot log, reused buffer, one entry per nonempty slot per pass)
     bucket_[v] = flat;
     ++count_[group];
     prev_[v] = tail;
@@ -144,6 +146,7 @@ class BucketArray {
   }
 
   /// Remove v (must be contained).  Branchless splice.
+  // hot-path: root
   void erase(VertexId v) {
     VP_DCHECK(contains(v), "vertex contained before removal");
     const VertexId a = prev_[v];
@@ -159,6 +162,7 @@ class BucketArray {
   /// to erase() + push_front/push_back, but writes each parallel array
   /// once and leaves the group count untouched — the hot sequence of
   /// every delta-gain update.
+  // hot-path: root
   void move_to(VertexId v, Gain new_key, bool front) {
     VP_DCHECK(contains(v), "vertex contained before move_to");
     VP_DCHECK(new_key >= -max_abs_key_ && new_key <= max_abs_key_,
@@ -177,14 +181,14 @@ class BucketArray {
     prev_[b] = a;
     if (front) {
       const VertexId head = next_[sent];
-      if (head == sent) touched_.push_back(flat);
+      if (head == sent) touched_.push_back(flat);  // hot-path: allow(touched-slot log, reused buffer, one entry per nonempty slot per pass)
       next_[v] = head;
       prev_[v] = sent;
       prev_[head] = v;
       next_[sent] = v;
     } else {
       const VertexId tail = prev_[sent];
-      if (tail == sent) touched_.push_back(flat);
+      if (tail == sent) touched_.push_back(flat);  // hot-path: allow(touched-slot log, reused buffer, one entry per nonempty slot per pass)
       prev_[v] = tail;
       next_[v] = sent;
       next_[tail] = v;

@@ -48,7 +48,7 @@ void FmRefiner::lookahead_vector(const PartitionState& state, VertexId v,
   const PartId from = state.part(v);
   const PartId to = from ^ 1;
   const auto depth = static_cast<std::size_t>(config_.lookahead_depth);
-  out.assign(depth - 1, 0);
+  out.assign(depth - 1, 0);  // hot-path: allow(reused scratch, bounded by lookahead depth)
   for (const EdgeId e : h.incident_edges(v)) {
     const Weight w = h.edge_weight(e);
     const std::uint32_t locked_from = locked_in_[from][e];
@@ -103,7 +103,7 @@ void FmRefiner::run_in_pass_audit(const PartitionState& state) const {
   view.initial_gain = initial_gain_;
   view.locked = locked_;
   view.locked_in = use_lookahead_ ? &locked_in_ : nullptr;
-  audit_mid_pass(view);
+  audit_mid_pass(view);  // hot-path: allow(audit mode only, disabled in timed runs)
 }
 
 Weight FmRefiner::imbalance(Weight w0) const {
@@ -196,6 +196,7 @@ FmRefiner::Candidate FmRefiner::select_move(const PartitionState& state,
   return c0;
 }
 
+// hot-path: root
 FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
   const Hypergraph& h = *problem_->graph;
   const std::size_t n = h.num_vertices();
@@ -207,8 +208,8 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
   move_order_.clear();
   current_trace_.clear();
   if (use_lookahead_) {
-    locked_in_[0].assign(h.num_edges(), 0);
-    locked_in_[1].assign(h.num_edges(), 0);
+    locked_in_[0].assign(h.num_edges(), 0);  // hot-path: allow(per-pass reset of reused buffer)
+    locked_in_[1].assign(h.num_edges(), 0);  // hot-path: allow(per-pass reset of reused buffer)
     // Fixed and excluded vertices never move: treat them as locked so
     // binding numbers see them as immovable pins.
     for (std::size_t v = 0; v < n; ++v) {
@@ -228,10 +229,10 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
   // vertices are excluded when the corking fix is on.
   const Weight window = problem_->balance.window();
   std::vector<VertexId>& order = build_order_;
-  order.resize(n);
+  order.resize(n);  // hot-path: allow(per-pass reset of reused buffer)
   std::iota(order.begin(), order.end(), 0);
   std::vector<Gain>& initial_gain = initial_gain_;
-  initial_gain.assign(n, 0);
+  initial_gain.assign(n, 0);  // hot-path: allow(per-pass reset of reused buffer)
   for (std::size_t v = 0; v < n; ++v) {
     initial_gain[v] = state.gain(static_cast<VertexId>(v));
   }
@@ -239,7 +240,7 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
     // CLIP builds the zero-gain buckets with the highest-initial-gain
     // cells at the heads [15]: insert in ascending initial-gain order so
     // head-insertion leaves the largest at the front.
-    std::stable_sort(order.begin(), order.end(),
+    std::stable_sort(order.begin(), order.end(),  // hot-path: allow(CLIP bucket build, once per pass)
                      [&](VertexId a, VertexId b) {
                        return initial_gain[a] < initial_gain[b];
                      });
@@ -304,7 +305,7 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
     const auto nets = h.incident_edges(v);
     state.move(v, moved);
     last_from = from;
-    move_order_.push_back(v);
+    move_order_.push_back(v);  // hot-path: allow(move log, geometric growth amortized over passes)
     ++stats.moves_made;
     if (use_lookahead_) {
       // v is now locked on its destination side.
@@ -370,7 +371,7 @@ FmPassStats FmRefiner::run_pass(PartitionState& state, Rng& rng) {
 
     // Best-prefix bookkeeping.
     const Weight cut = state.cut();
-    if (config_.record_trace) current_trace_.push_back(cut);
+    if (config_.record_trace) current_trace_.push_back(cut);  // hot-path: allow(trace recording, reused buffer)
     const Weight imb = imbalance(state.part_weight(0));
     const Weight slk = slack();
     bool better = false;

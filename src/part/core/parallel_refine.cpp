@@ -8,6 +8,7 @@
 
 namespace vlsipart {
 
+// hot-path: root
 CommitOutcome commit_proposals(const PartitionProblem& problem,
                                PartitionState& state,
                                std::span<const MoveProposal> proposals,
@@ -21,7 +22,7 @@ CommitOutcome commit_proposals(const PartitionProblem& problem,
   std::vector<std::uint8_t> local_moved;
   std::vector<std::uint8_t>& moved =
       moved_scratch != nullptr ? *moved_scratch : local_moved;
-  if (moved.size() != g.num_vertices()) moved.assign(g.num_vertices(), 0);
+  if (moved.size() != g.num_vertices()) moved.assign(g.num_vertices(), 0);  // hot-path: allow(per-round reset of reused scratch)
 
   const BalanceConstraint& balance = problem.balance;
   auto imbalance_of = [&balance](Weight w0) -> Weight {
@@ -58,7 +59,7 @@ CommitOutcome commit_proposals(const PartitionProblem& problem,
     }
     state.move(v);
     moved[v] = 1;
-    kept_moves.push_back(v);
+    kept_moves.push_back(v);  // hot-path: allow(reused commit log, growth amortized)
     ++out.applied;
     const Weight imb = imbalance_of(state.part_weight(0));
     const Weight cut = state.cut();
@@ -78,7 +79,7 @@ CommitOutcome commit_proposals(const PartitionProblem& problem,
     state.move(kept_moves[i - 1]);
   }
   for (const VertexId v : kept_moves) moved[v] = 0;  // scratch back to zero
-  kept_moves.resize(best_len);
+  kept_moves.resize(best_len);  // hot-path: allow(shrink only, never reallocates)
   out.kept = best_len;
   out.cut_after = state.cut();
   return out;
@@ -117,10 +118,11 @@ Weight ParallelFmRefiner::imbalance(Weight w0) const {
   return 0;
 }
 
+// hot-path: root
 std::size_t ParallelFmRefiner::freeze_gains(const PartitionState& state) {
   const std::size_t n = problem_->graph->num_vertices();
   {
-    std::lock_guard<std::mutex> lock(work_mutex_);
+    std::lock_guard<std::mutex> lock(work_mutex_);  // hot-path: allow(per-round tally, not per-move)
     round_gains_recomputed_ = 0;
   }
   // Each shard owns a contiguous vertex range: writes to gain_/dirty_
@@ -134,18 +136,19 @@ std::size_t ParallelFmRefiner::freeze_gains(const PartitionState& state) {
       dirty_[v] = 0;
       ++recomputed;
     }
-    std::lock_guard<std::mutex> lock(work_mutex_);
+    std::lock_guard<std::mutex> lock(work_mutex_);  // hot-path: allow(per-shard tally, once per round)
     round_gains_recomputed_ += recomputed;
   };
   if (pool_ != nullptr && shards_ > 1) {
-    pool_->parallel_for_dynamic(shards_, freeze_shard);
+    pool_->parallel_for_dynamic(shards_, freeze_shard);  // hot-path: allow(pool dispatch, once per round)
   } else {
     for (std::size_t s = 0; s < shards_; ++s) freeze_shard(s);
   }
-  std::lock_guard<std::mutex> lock(work_mutex_);
+  std::lock_guard<std::mutex> lock(work_mutex_);  // hot-path: allow(per-round tally, not per-move)
   return round_gains_recomputed_;
 }
 
+// hot-path: root
 void ParallelFmRefiner::propose(const PartitionState& state) {
   const std::size_t n = problem_->graph->num_vertices();
   const Weight w0 = state.part_weight(0);
@@ -166,11 +169,11 @@ void ParallelFmRefiner::propose(const PartitionState& state) {
       if (infeasible ? state.part(vid) != overloaded : gain_[v] <= 0) {
         continue;
       }
-      out.push_back(MoveProposal{vid, gain_[v]});
+      out.push_back(MoveProposal{vid, gain_[v]});  // hot-path: allow(reused per-shard proposal buffer, growth amortized)
     }
   };
   if (pool_ != nullptr && shards_ > 1) {
-    pool_->parallel_for_dynamic(shards_, propose_shard);
+    pool_->parallel_for_dynamic(shards_, propose_shard);  // hot-path: allow(pool dispatch, once per round)
   } else {
     for (std::size_t s = 0; s < shards_; ++s) propose_shard(s);
   }
@@ -181,14 +184,15 @@ void ParallelFmRefiner::propose(const PartitionState& state) {
   // identically for every shard count.
   proposals_.clear();
   for (const std::vector<MoveProposal>& sp : shard_proposals_) {
-    proposals_.insert(proposals_.end(), sp.begin(), sp.end());
+    proposals_.insert(proposals_.end(), sp.begin(), sp.end());  // hot-path: allow(reused merge buffer, growth amortized)
   }
-  std::stable_sort(proposals_.begin(), proposals_.end(),
+  std::stable_sort(proposals_.begin(), proposals_.end(),  // hot-path: allow(proposal order, once per round)
                    [](const MoveProposal& a, const MoveProposal& b) {
                      return a.gain > b.gain;
                    });
 }
 
+// hot-path: root
 void ParallelFmRefiner::mark_dirty(std::span<const VertexId> kept) {
   const Hypergraph& g = *problem_->graph;
   for (const VertexId v : kept) {

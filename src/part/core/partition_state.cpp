@@ -46,7 +46,7 @@ void PartitionState::move_impl(VertexId v, MoveNetCounts* counts) {
   const Weight w = h_->vertex_weight(v);
   const auto nets = h_->incident_edges(v);
   if constexpr (kRecord) {
-    counts->old_pins.resize(2 * nets.size());
+    counts->old_pins.resize(2 * nets.size());  // hot-path: allow(recording scratch, bounded by max net degree)
   }
   const std::size_t prefetch_end =
       nets.size() > kNetPrefetchDistance ? nets.size() - kNetPrefetchDistance

@@ -47,7 +47,7 @@ void KwayFmRefiner::level_gains(const KwayState& state, VertexId v,
   const PartId to = target_[v];
   const auto depth = static_cast<std::size_t>(config_.lookahead_depth);
   const std::size_t k = state.k();
-  out.assign(depth - 1, 0);
+  out.assign(depth - 1, 0);  // hot-path: allow(reused scratch, bounded by lookahead depth)
   for (const EdgeId e : h.incident_edges(v)) {
     // Nets with pins outside {from, to} cannot be uncut by from/to
     // moves alone; skip them.
@@ -134,6 +134,7 @@ PartId KwayFmRefiner::best_target(const KwayState& state, VertexId v,
   return best;
 }
 
+// hot-path: root
 Weight KwayFmRefiner::run_pass(KwayState& state, Rng& rng) {
   (void)rng;  // deterministic pass; parameter kept for parity/extension
   const Hypergraph& h = *problem_->graph;
@@ -143,7 +144,7 @@ Weight KwayFmRefiner::run_pass(KwayState& state, Rng& rng) {
   std::fill(locked_.begin(), locked_.end(), 0);
   move_order_.clear();
   if (use_lookahead_) {
-    locked_in_.assign(h.num_edges() * state.k(), 0);
+    locked_in_.assign(h.num_edges() * state.k(), 0);  // hot-path: allow(per-pass reset of reused buffer)
     // Fixed vertices never move: binding numbers see them as locked.
     for (std::size_t v = 0; v < n; ++v) {
       const auto vid = static_cast<VertexId>(v);
@@ -200,7 +201,7 @@ Weight KwayFmRefiner::run_pass(KwayState& state, Rng& rng) {
     locked_[v] = 1;
     const PartId from = state.part(v);
     state.move(v, to);
-    move_order_.push_back({v, from});
+    move_order_.push_back({v, from});  // hot-path: allow(move log, geometric growth amortized over passes)
     if (use_lookahead_) {
       for (const EdgeId e : h.incident_edges(v)) {
         ++locked_in_[static_cast<std::size_t>(e) * state.k() + to];

@@ -103,6 +103,81 @@ TEST(Lexer, PreprocessorLinesAreSingleTokens) {
   EXPECT_EQ(pp, 2u);  // the continuation line folds into one token
 }
 
+TEST(Lexer, DigitSeparatorsStaySingleNumber) {
+  const LexedFile f = lex("a.cpp", "long n = 1'000'000; int m = 0x7f'ff;");
+  std::size_t numbers = 0;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokenKind::kNumber) ++numbers;
+  }
+  EXPECT_EQ(numbers, 2u);
+  EXPECT_EQ(f.tokens[3].text, "1'000'000");
+}
+
+TEST(Lexer, EncodingPrefixedStringsAreOneToken) {
+  const LexedFile f = lex(
+      "a.cpp", "auto a = u8\"rand()\"; auto b = L\"x\"; auto c = U\"y\";");
+  std::size_t strings = 0;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokenKind::kString) ++strings;
+    EXPECT_NE(t.text, "rand");
+    EXPECT_FALSE(t.is_ident("u8"));
+    EXPECT_FALSE(t.is_ident("L"));
+  }
+  EXPECT_EQ(strings, 3u);
+}
+
+TEST(Lexer, EncodingPrefixedCharLiteralsAreOneToken) {
+  const LexedFile f = lex("a.cpp", "auto a = u8'x'; auto b = L'y';");
+  std::size_t chars = 0;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokenKind::kCharLiteral) ++chars;
+    EXPECT_FALSE(t.is_ident("u8"));
+    EXPECT_FALSE(t.is_ident("L"));
+  }
+  EXPECT_EQ(chars, 2u);
+  EXPECT_EQ(f.tokens[3].text, "u8'x'");
+}
+
+TEST(Lexer, RawStringContainingCommentClosersIsOpaque) {
+  const LexedFile f = lex("a.cpp",
+                          "auto r = R\"(a */ b /* c // d)\"; int after;\n"
+                          "// real comment\n");
+  bool saw_after = false;
+  for (const Token& t : f.tokens) {
+    if (t.is_ident("after")) saw_after = true;
+  }
+  EXPECT_TRUE(saw_after);
+  ASSERT_EQ(f.comments.size(), 1u);  // only the real one
+  EXPECT_NE(f.comments[0].text.find("real comment"), std::string::npos);
+}
+
+TEST(Lexer, PreprocessorStringWithSlashesKeepsWholeLine) {
+  // A URL inside a #define used to truncate the directive at "//" and
+  // turn the tail into a phantom comment.
+  const LexedFile f = lex("a.cpp",
+                          "#define URL \"http://example.com\"\n"
+                          "int x;\n");
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_EQ(f.tokens[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(f.tokens[0].text.find("example.com\""), std::string::npos);
+  EXPECT_TRUE(f.comments.empty());
+}
+
+TEST(Lexer, PreprocessorRawStringWithCommentCloserKeepsWholeLine) {
+  const LexedFile f = lex("a.cpp",
+                          "#define PAT R\"(a */ b)\"\n"
+                          "int y;\n");
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_EQ(f.tokens[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(f.tokens[0].text.find(")\""), std::string::npos);
+  EXPECT_TRUE(f.comments.empty());
+  bool saw_y = false;
+  for (const Token& t : f.tokens) {
+    if (t.is_ident("y")) saw_y = true;
+  }
+  EXPECT_TRUE(saw_y);
+}
+
 // ---------------------------------------------------------------------
 // Determinism rules: firing / suppressed / clean per rule
 
@@ -594,6 +669,191 @@ TEST(RuleLockDiscipline, OutOfScopeDirsAreIgnored) {
                     "void W::touch() { count_ += 1; }\n"}},
       {}, options);
   EXPECT_EQ(count_rule(r, "lock-discipline"), 0u) << dump(r);
+}
+
+// Interprocedural propagation: a helper whose in-scope call sites all
+// hold the mutex is checked as if it held it.
+
+TEST(RuleLockDiscipline, HoldsPropagatesThroughCallGraph) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::touch() {\n"
+      "  std::lock_guard<std::mutex> lock(mutex_);\n"
+      "  bump();\n"
+      "}\n"
+      "void Widget::bump() { count_ += 1; }\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, HoldsPropagatesTwoLevels) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::touch() {\n"
+      "  std::lock_guard<std::mutex> lock(mutex_);\n"
+      "  bump();\n"
+      "}\n"
+      "void Widget::bump() { inc(); }\n"
+      "void Widget::inc() { count_ += 1; }\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, UnlockedCallSiteBreaksPropagation) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::touch() {\n"
+      "  std::lock_guard<std::mutex> lock(mutex_);\n"
+      "  bump();\n"
+      "}\n"
+      "void Widget::careless() { bump(); }\n"  // no lock here
+      "void Widget::bump() { count_ += 1; }\n");
+  EXPECT_EQ(count_rule(r, "lock-discipline"), 1u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, ExplicitHoldsStillPropagates) {
+  // An annotated helper's lockset flows onward to ITS callees.
+  const AnalysisResult r = lint_lock(
+      "void Widget::bump_locked() {\n"
+      "  // det-lint: holds(mutex_)\n"
+      "  inc();\n"
+      "}\n"
+      "void Widget::inc() { count_ += 1; }\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleLockDiscipline, WorkerLambdaInheritsCaptureContext) {
+  const AnalysisResult r = lint_lock(
+      "void Widget::touch() {\n"
+      "  std::lock_guard<std::mutex> lock(mutex_);\n"
+      "  auto body = [&] { count_ += 1; };\n"
+      "  body();\n"
+      "}\n");
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+// ---------------------------------------------------------------------
+// Parallel-round protocol (synthetic corpus)
+
+AnalysisResult lint_round(const std::string& body) {
+  AnalyzerOptions options;
+  return analyze_buffers(
+      {SourceBuffer{"src/part/core/parallel_engine.cpp", body}}, {},
+      options);
+}
+
+TEST(RuleRoundFrozenWrite, FiresOnNonRangeIndexedWrite) {
+  const AnalysisResult r = lint_round(
+      "void Engine::round(std::size_t n) {\n"
+      "  auto work_shard = [&](std::size_t shard) {\n"
+      "    const ShardRange r = shard_range(n, shards_, shard);\n"
+      "    for (std::size_t v = r.begin; v < r.end; ++v) {\n"
+      "      gain_[v] = 1;\n"  // clean: v derived from the range
+      "    }\n"
+      "    frozen_[cursor_] = 3;\n"  // fires: cursor_ not range-derived
+      "  };\n"
+      "  pool_->parallel_for_dynamic(shards_, work_shard);\n"
+      "}\n");
+  EXPECT_EQ(count_rule(r, "round-frozen-write"), 1u) << dump(r);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings[0].line, 7);
+}
+
+TEST(RuleRoundFrozenWrite, FiresOnCapturedContainerGrowth) {
+  const AnalysisResult r = lint_round(
+      "void Engine::round(std::size_t n) {\n"
+      "  pool_->parallel_for_dynamic(shards_, [&](std::size_t shard) {\n"
+      "    results_.push_back(shard);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(count_rule(r, "round-frozen-write"), 1u) << dump(r);
+}
+
+TEST(RuleRoundFrozenWrite, CleanWhenShardOwnsItsSlots) {
+  const AnalysisResult r = lint_round(
+      "void Engine::round(std::size_t n) {\n"
+      "  auto work_shard = [&](std::size_t shard) {\n"
+      "    const ShardRange r = shard_range(n, shards_, shard);\n"
+      "    std::vector<int>& out = shard_out_[shard];\n"
+      "    for (std::size_t v = r.begin; v < r.end; ++v) {\n"
+      "      gain_[v] = 1;\n"
+      "      dirty_[v] = 0;\n"
+      "    }\n"
+      "  };\n"
+      "  pool_->parallel_for_dynamic(shards_, work_shard);\n"
+      "}\n");
+  EXPECT_EQ(count_rule(r, "round-frozen-write"), 0u) << dump(r);
+}
+
+TEST(RuleRoundFrozenWrite, SuppressedByAllow) {
+  const AnalysisResult r = lint_round(
+      "void Engine::round(std::size_t n) {\n"
+      "  auto work_shard = [&](std::size_t shard) {\n"
+      "    // det-lint: allow(round-frozen-write) slot proven disjoint\n"
+      "    frozen_[cursor_] = 3;\n"
+      "  };\n"
+      "  pool_->parallel_for_dynamic(shards_, work_shard);\n"
+      "}\n");
+  EXPECT_EQ(count_rule(r, "round-frozen-write"), 0u) << dump(r);
+  EXPECT_GE(r.suppressed, 1u);
+}
+
+TEST(RuleRoundFrozenWrite, NonParallelUnitIsOutOfScope) {
+  AnalyzerOptions options;
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/core/engine.cpp",
+                    "void Engine::round(std::size_t n) {\n"
+                    "  auto work_shard = [&](std::size_t shard) {\n"
+                    "    frozen_[cursor_] = 3;\n"
+                    "  };\n"
+                    "  pool_->parallel_for_dynamic(shards_, work_shard);\n"
+                    "}\n"}},
+      {}, options);
+  EXPECT_EQ(count_rule(r, "round-frozen-write"), 0u) << dump(r);
+}
+
+TEST(RuleRoundRng, FiresOnRngDrawInShard) {
+  const AnalysisResult r = lint_round(
+      "void Engine::round(std::size_t n) {\n"
+      "  pool_->parallel_for_dynamic(shards_, [&](std::size_t shard) {\n"
+      "    const auto coin = rng_.next_u64();\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(count_rule(r, "round-rng-in-shard"), 1u) << dump(r);
+}
+
+TEST(RuleRoundRng, CleanOutsideWorkerLambda) {
+  const AnalysisResult r = lint_round(
+      "void Engine::round(std::size_t n) {\n"
+      "  const auto coin = rng_.next_u64();\n"  // before the round: fine
+      "  pool_->parallel_for_dynamic(shards_, [&](std::size_t shard) {\n"
+      "    gain_[shard] = coin;\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(count_rule(r, "round-rng-in-shard"), 0u) << dump(r);
+}
+
+// ---------------------------------------------------------------------
+// Rule filter: family names
+
+TEST(RuleFilterFamily, FamilyNameEnablesItsRules) {
+  AnalyzerOptions options;
+  options.only_rules = {"determinism"};
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/f.cpp", "int x = rand();\n"}}, {}, options);
+  EXPECT_EQ(count_rule(r, "rand"), 1u) << dump(r);
+}
+
+TEST(RuleFilterFamily, OtherFamiliesAreExcluded) {
+  AnalyzerOptions options;
+  options.only_rules = {"hotpath"};
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/f.cpp", "int x = rand();\n"}}, {}, options);
+  EXPECT_EQ(r.findings.size(), 0u) << dump(r);
+}
+
+TEST(RuleFilterFamily, UnknownFamilyIsAnError) {
+  AnalyzerOptions options;
+  options.only_rules = {"fastpath"};
+  const AnalysisResult r = analyze_buffers(
+      {SourceBuffer{"src/part/f.cpp", "int x;\n"}}, {}, options);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find("fastpath"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

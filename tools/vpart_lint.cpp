@@ -1,18 +1,20 @@
-// vpart_lint: token-level static analyzer for the repo's methodology
-// contracts — determinism, knob completeness and lock discipline.
-// Replaces the regex-based tools/determinism_lint.py (which now execs
-// this binary).
+// vpart_lint: static analyzer for the repo's methodology contracts —
+// determinism, knob completeness, lock discipline, hot-path purity and
+// the parallel-round protocol.  Replaces the regex-based
+// tools/determinism_lint.py (which now execs this binary).
 //
 // Usage:
 //   vpart_lint [options] [path ...]
-//     paths            files or directories to lint (default: src)
+//     paths            files or directories to lint (default: src,
+//                      tools, bench, examples — those that exist)
 //   --repo-root DIR    repository root for context + relative paths
 //                      (default: current directory)
 //   --format FMT       human | json | sarif (default: human)
 //   --output FILE      write the report to FILE instead of stdout
 //   --baseline FILE    baseline file (default: tools/vpart_lint_baseline.txt
 //                      under the repo root, when present; "none" disables)
-//   --rules a,b,...    run only these rules
+//   --rules a,b,...    run only these rules or families
+//                      (e.g. --rules hotpath,lock,round)
 //   --list-rules       print the rule catalog and exit
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/configuration error —
@@ -84,7 +86,17 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> paths = args.positional();
-  if (paths.empty()) paths.push_back("src");
+  if (paths.empty()) {
+    // Default scope: every C++ tree of the repo that exists.  src/ is
+    // required; the tool and bench trees are linted too so their code
+    // meets the same determinism bar.
+    for (const char* dir : {"src", "tools", "bench", "examples"}) {
+      const std::filesystem::path d =
+          std::filesystem::path(options.repo_root) / dir;
+      std::error_code ec;
+      if (std::filesystem::is_directory(d, ec)) paths.push_back(dir);
+    }
+  }
 
   const std::string format = args.get("format", "human");
   if (format != "human" && format != "json" && format != "sarif") {
