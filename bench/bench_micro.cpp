@@ -13,8 +13,10 @@
 #include "src/part/core/gain_container.h"
 #include "src/part/core/initial.h"
 #include "src/part/core/parallel_refine.h"
+#include "src/part/evo/evo_partitioner.h"
 #include "src/part/ml/coarsen.h"
 #include "src/part/ml/parallel_coarsen.h"
+#include "src/part/nlevel/nlevel_graph.h"
 #include "src/util/prefetch.h"
 #include "src/util/thread_pool.h"
 
@@ -274,6 +276,60 @@ void BM_CoarsenOneLevel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CoarsenOneLevel)->Unit(benchmark::kMillisecond);
+
+// The n-level undo log: contract a random half of the medium instance
+// one vertex at a time (untimed), then time the full uncontraction
+// unwind — the per-uncontraction cost is what keeps n-level viable
+// (O(degree of the split vertex), no graph rebuilds).
+void BM_NlevelUncontract(benchmark::State& state) {
+  const Hypergraph h = generate_netlist(preset("medium"));
+  NlevelGraph g;
+  // Deterministic contraction schedule, precomputed once: pair vertex
+  // 2i+1 into 2i (both always active at contraction time).
+  std::vector<std::pair<VertexId, VertexId>> schedule;
+  for (VertexId u = 0; u + 1 < h.num_vertices(); u += 2) {
+    schedule.push_back({u, static_cast<VertexId>(u + 1)});
+  }
+  std::vector<EdgeId> reactivated;
+  for (auto _ : state) {
+    state.PauseTiming();
+    g.bind(h);
+    for (const auto& [u, v] : schedule) g.contract(u, v);
+    state.ResumeTiming();
+    while (g.num_contractions() > 0) {
+      reactivated.clear();
+      benchmark::DoNotOptimize(g.uncontract(&reactivated));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(schedule.size()));
+}
+BENCHMARK(BM_NlevelUncontract)->Unit(benchmark::kMillisecond);
+
+// One memetic generation over a seeded population on the tiny instance:
+// the steady-state cost of the evolutionary loop (offspring V-cycles +
+// elitist replacement), dominated by the recombination descents.
+void BM_EvoGeneration(benchmark::State& state) {
+  const Hypergraph h = generate_netlist(preset("tiny"));
+  PartitionProblem problem;
+  problem.graph = &h;
+  problem.balance =
+      BalanceConstraint::from_tolerance(h.total_vertex_weight(), 0.10);
+  EvoConfig config;
+  config.population = 4;
+  config.generations = 1;
+  config.offspring = 4;
+  EvoPartitioner engine(config);
+  std::uint64_t seed = 0;
+  std::vector<PartId> parts;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    benchmark::DoNotOptimize(engine.run(problem, rng, parts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.offspring));
+}
+BENCHMARK(BM_EvoGeneration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace vlsipart

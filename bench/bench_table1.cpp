@@ -24,14 +24,17 @@ int main(int argc, char** argv) {
 
   struct Block {
     const char* title;
+    /// Engine id stamped into every row (the --engine spelling vpart
+    /// uses), so merged/JSON'd tables stay self-describing.
+    const char* engine;
     bool ml;
     bool clip;
   };
   const Block blocks[] = {
-      {"Flat LIFO FM", false, false},
-      {"Flat CLIP FM", false, true},
-      {"ML LIFO FM", true, false},
-      {"ML CLIP FM", true, true},
+      {"Flat LIFO FM", "flat", false, false},
+      {"Flat CLIP FM", "clip", false, true},
+      {"ML LIFO FM", "ml", true, false},
+      {"ML CLIP FM", "ml-clip", true, true},
   };
   const ZeroGainUpdate updates[] = {ZeroGainUpdate::kAll,
                                     ZeroGainUpdate::kNonzero};
@@ -54,7 +57,10 @@ int main(int argc, char** argv) {
     // Fraction of incident-net visits the net-state-aware inner loop
     // resolved without a pin walk, aggregated over the row's instances.
     // Structurally 0 under All-dgain (the skip is gated off there).
+    // Appended last so positional consumers of the older columns keep
+    // working; keyed consumers (emit_json) pick it up by name.
     header.push_back("Skip%");
+    header.push_back("Engine");
     TextTable table(std::move(header));
 
     for (const ZeroGainUpdate update : updates) {
@@ -85,6 +91,7 @@ int main(int argc, char** argv) {
         char skip[32];
         std::snprintf(skip, sizeof(skip), "%.1f", 100.0 * row_work.skip_rate());
         row.push_back(skip);
+        row.push_back(block.engine);
         table.add_row(std::move(row));
       }
     }

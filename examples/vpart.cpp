@@ -12,7 +12,7 @@
 // Options:
 //   --k 2           number of parts (k > 2 uses recursive bisection)
 //   --tolerance 0.02
-//   --engine ml|flat|clip        (default ml)
+//   --engine ml|flat|clip|nlevel|evo   (default ml; --help lists them)
 //   --starts 4      independent starts (best kept)
 //   --vcycles 1     V-cycles applied to the best result (k = 2 only)
 //   --seed 1
@@ -28,6 +28,13 @@
 // Multilevel knobs (ml engine):
 //   --initial-tries N  --coarsen-to N  --min-reduction X
 //   --coarsen-threads N (1 = serial; >1 = deterministic parallel rating)
+// n-level knobs (nlevel engine; shares --coarsen-to/--initial-tries):
+//   --max-cluster-weight W  --max-rated-net-size N
+//   --local-moves-past-best N  --final-refine 0|1
+//   --initial-scheme random|bfs|mixed
+// Memetic knobs (evo engine; nests the full ml surface):
+//   --population N  --generations N  --offspring N
+//   --mutation-period N  --mutation-size N  --evo-threads N
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -40,8 +47,10 @@
 #include "src/io/partition_io.h"
 #include "src/part/core/multistart.h"
 #include "src/part/core/partitioner.h"
+#include "src/part/evo/evo_partitioner.h"
 #include "src/part/kway/recursive_bisection.h"
 #include "src/part/ml/ml_partitioner.h"
+#include "src/part/nlevel/nlevel_partitioner.h"
 #include "src/util/cli.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
@@ -49,6 +58,38 @@
 using namespace vlsipart;
 
 namespace {
+
+/// Engine registry: the closed --engine vocabulary with the one-line
+/// descriptions --help prints.
+struct EngineInfo {
+  const char* name;
+  const char* blurb;
+};
+constexpr EngineInfo kEngines[] = {
+    {"ml", "multilevel FM (hMetis-like: coarsen, refine, V-cycle the best)"},
+    {"flat", "flat FM with LIFO gain buckets (the paper's baseline)"},
+    {"clip", "flat FM with CLIP gain keys and corking"},
+    {"nlevel",
+     "n-level: one contraction per level, localized FM per uncontraction"},
+    {"evo",
+     "memetic: population of ml starts evolved by recombination V-cycles"},
+};
+
+std::vector<std::string> engine_names() {
+  std::vector<std::string> names;
+  for (const EngineInfo& e : kEngines) names.push_back(e.name);
+  return names;
+}
+
+void print_help() {
+  std::printf("usage: vpart --hgr FILE | --ispd98 PREFIX | --case NAME "
+              "[options]\n\nengines (--engine NAME, default ml):\n");
+  for (const EngineInfo& e : kEngines) {
+    std::printf("  %-8s %s\n", e.name, e.blurb);
+  }
+  std::printf("\nsee the header comment of examples/vpart.cpp (or DESIGN.md "
+              "\"Knob reference\") for the full option list.\n");
+}
 
 /// Map a --flag value to an enum through a (name, value) table; throws
 /// with the full vocabulary on an unknown spelling.
@@ -120,6 +161,22 @@ FmConfig fm_config_from_args(const CliArgs& args) {
   return fm;
 }
 
+/// The ml engine's knob surface (also nested inside the evo engine).
+MlConfig ml_config_from_args(const CliArgs& args, const FmConfig& fm) {
+  MlConfig config;
+  config.refine = fm;
+  config.initial_tries = static_cast<std::size_t>(args.get_int(
+      "initial-tries", static_cast<std::int64_t>(config.initial_tries)));
+  config.coarsen.coarsen_to = static_cast<std::size_t>(args.get_int(
+      "coarsen-to", static_cast<std::int64_t>(config.coarsen.coarsen_to)));
+  config.coarsen.min_reduction =
+      args.get_double("min-reduction", config.coarsen.min_reduction);
+  config.coarsen.coarsen_threads = static_cast<std::size_t>(args.get_int(
+      "coarsen-threads",
+      static_cast<std::int64_t>(config.coarsen.coarsen_threads)));
+  return config;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,12 +184,21 @@ int main(int argc, char** argv) {
   try {
     args.check_known({"hgr", "ispd98", "case", "scale", "k", "tolerance",
                       "ubfactor", "engine", "starts", "vcycles", "seed",
-                      "out", "tie-break", "zero-gain", "insert-order",
+                      "out", "help", "tie-break", "zero-gain", "insert-order",
                       "best-choice", "illegal-head", "exclude-oversized",
                       "look-beyond-first", "lookahead", "lookahead-scan",
                       "max-passes", "max-moves-past-best", "audit",
                       "audit-every", "initial-tries", "coarsen-to",
-                      "min-reduction", "refine-threads", "coarsen-threads"});
+                      "min-reduction", "refine-threads", "coarsen-threads",
+                      "max-cluster-weight", "max-rated-net-size",
+                      "local-moves-past-best", "final-refine",
+                      "initial-scheme", "population", "generations",
+                      "offspring", "mutation-period", "mutation-size",
+                      "evo-threads"});
+    if (args.get_bool("help")) {
+      print_help();
+      return 0;
+    }
     Hypergraph h;
     std::string source;
     if (args.has("hgr")) {
@@ -156,7 +222,8 @@ int main(int argc, char** argv) {
     if (args.has("ubfactor")) {
       tolerance = 2.0 * args.get_double("ubfactor", 1.0) / 100.0;
     }
-    const std::string engine_name = args.get("engine", "ml");
+    const std::string engine_name = CliArgs::check_known_value(
+        "engine", args.get("engine", "ml"), engine_names());
     const auto starts = static_cast<std::size_t>(args.get_int("starts", 4));
     const auto vcycles =
         static_cast<std::size_t>(args.get_int("vcycles", 1));
@@ -166,9 +233,6 @@ int main(int argc, char** argv) {
     if (engine_name == "clip") {
       fm.clip = true;
       fm.exclude_oversized = true;
-    } else if (engine_name != "ml" && engine_name != "flat") {
-      throw std::runtime_error("unknown --engine (ml|flat|clip): " +
-                               engine_name);
     }
 
     std::vector<PartId> parts;
@@ -180,22 +244,59 @@ int main(int argc, char** argv) {
       problem.balance = BalanceConstraint::from_tolerance(
           h.total_vertex_weight(), tolerance);
       if (engine_name == "ml") {
-        MlConfig config;
+        MlPartitioner engine(ml_config_from_args(args, fm));
+        const MultistartResult r =
+            run_hmetis_like(problem, engine, starts, vcycles, seed);
+        parts = r.best_parts;
+        cut = r.best_cut;
+      } else if (engine_name == "nlevel") {
+        NlevelConfig config;
         config.refine = fm;
+        config.coarsen_to = static_cast<std::size_t>(args.get_int(
+            "coarsen-to", static_cast<std::int64_t>(config.coarsen_to)));
+        config.max_cluster_weight = args.get_int(
+            "max-cluster-weight", config.max_cluster_weight);
+        config.max_rated_net_size = static_cast<std::size_t>(args.get_int(
+            "max-rated-net-size",
+            static_cast<std::int64_t>(config.max_rated_net_size)));
         config.initial_tries = static_cast<std::size_t>(args.get_int(
             "initial-tries",
             static_cast<std::int64_t>(config.initial_tries)));
-        config.coarsen.coarsen_to = static_cast<std::size_t>(args.get_int(
-            "coarsen-to",
-            static_cast<std::int64_t>(config.coarsen.coarsen_to)));
-        config.coarsen.min_reduction = args.get_double(
-            "min-reduction", config.coarsen.min_reduction);
-        config.coarsen.coarsen_threads = static_cast<std::size_t>(args.get_int(
-            "coarsen-threads",
-            static_cast<std::int64_t>(config.coarsen.coarsen_threads)));
-        MlPartitioner engine(config);
+        config.initial_scheme = parse_choice(args, "initial-scheme",
+                                             {{"random", InitialScheme::kRandom},
+                                              {"bfs", InitialScheme::kBfs},
+                                              {"mixed", InitialScheme::kMixed}},
+                                             config.initial_scheme);
+        config.local_moves_past_best = static_cast<std::size_t>(args.get_int(
+            "local-moves-past-best",
+            static_cast<std::int64_t>(config.local_moves_past_best)));
+        config.final_refine = args.get_bool("final-refine",
+                                            config.final_refine);
+        NlevelPartitioner engine(config);
         const MultistartResult r =
-            run_hmetis_like(problem, engine, starts, vcycles, seed);
+            run_multistart(problem, engine, starts, seed);
+        parts = r.best_parts;
+        cut = r.best_cut;
+      } else if (engine_name == "evo") {
+        EvoConfig config;
+        config.ml = ml_config_from_args(args, fm);
+        config.population = static_cast<std::size_t>(args.get_int(
+            "population", static_cast<std::int64_t>(config.population)));
+        config.generations = static_cast<std::size_t>(args.get_int(
+            "generations", static_cast<std::int64_t>(config.generations)));
+        config.offspring = static_cast<std::size_t>(args.get_int(
+            "offspring", static_cast<std::int64_t>(config.offspring)));
+        config.mutation_period = static_cast<std::size_t>(args.get_int(
+            "mutation-period",
+            static_cast<std::int64_t>(config.mutation_period)));
+        config.mutation_size = static_cast<std::size_t>(args.get_int(
+            "mutation-size",
+            static_cast<std::int64_t>(config.mutation_size)));
+        config.evo_threads = static_cast<std::size_t>(args.get_int(
+            "evo-threads", static_cast<std::int64_t>(config.evo_threads)));
+        EvoPartitioner engine(config);
+        const MultistartResult r =
+            run_multistart(problem, engine, starts, seed);
         parts = r.best_parts;
         cut = r.best_cut;
       } else {
@@ -216,6 +317,12 @@ int main(int argc, char** argv) {
         return 1;
       }
     } else {
+      if (engine_name == "nlevel" || engine_name == "evo") {
+        throw std::runtime_error(
+            "--engine " + engine_name +
+            " is a bipartitioner; k > 2 (recursive bisection) supports "
+            "ml|flat|clip");
+      }
       KwayConfig config;
       config.k = k;
       config.tolerance = tolerance;

@@ -30,12 +30,15 @@ ThreadPool* MlPartitioner::acquire_pool() {
 
 Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
                                    std::vector<PartId>& parts,
-                                   bool restricted) {
+                                   bool restricted,
+                                   const std::vector<PartId>* cluster_guide) {
   const Hypergraph& fine = *problem.graph;
 
   CoarsenConfig coarsen_config = config_.coarsen;
   coarsen_config.respect_parts = restricted;
-  const std::vector<PartId> guide = restricted ? parts : std::vector<PartId>{};
+  const std::vector<PartId> guide =
+      restricted ? (cluster_guide != nullptr ? *cluster_guide : parts)
+                 : std::vector<PartId>{};
   std::vector<CoarsenLevel> levels =
       coarsen_config.coarsen_threads > 1
           ? parallel_build_hierarchy(fine, coarsen_config, problem.fixed,
@@ -91,9 +94,11 @@ Weight MlPartitioner::run_internal(const PartitionProblem& problem, Rng& rng,
   // Coarsest-level solution.
   std::vector<PartId> coarse_parts;
   if (restricted) {
-    // Project the guiding solution down the (part-respecting) hierarchy;
-    // the projected cut equals the fine cut by construction.
-    coarse_parts = guide;
+    // Project the current solution down the (guide-respecting)
+    // hierarchy; clusters are guide-homogeneous and the guide refines
+    // the solution, so the projected cut equals the fine cut by
+    // construction.
+    coarse_parts = parts;
     for (const CoarsenLevel& level : levels) {
       std::vector<PartId> next(level.coarse.num_vertices(), kNoPart);
       for (std::size_t v = 0; v < coarse_parts.size(); ++v) {
@@ -196,6 +201,39 @@ Weight MlPartitioner::vcycle(const PartitionProblem& problem, Rng& rng,
   const Weight before = compute_cut(*problem.graph, parts);
   const Weight after =
       run_internal(problem, rng, candidate, /*restricted=*/true);
+  if (after <= before && check_solution(problem, candidate).empty()) {
+    parts = std::move(candidate);
+    return after;
+  }
+  return before;
+}
+
+Weight MlPartitioner::vcycle_guided(const PartitionProblem& problem, Rng& rng,
+                                    std::vector<PartId>& parts,
+                                    const std::vector<PartId>& guide) {
+  VP_CHECK(parts.size() == problem.graph->num_vertices() &&
+               guide.size() == parts.size(),
+           "guided v-cycle needs a full assignment and guide");
+  // The guide must refine the solution: one part per guide label.  With
+  // the memetic agreement encoding guide = 2*p1 + p2 and parts = p1 this
+  // holds by construction; the check keeps other callers honest (a
+  // violating guide would make the downward projection pick an arbitrary
+  // cluster member's part).
+  {
+    PartId label_part[256];
+    std::fill(std::begin(label_part), std::end(label_part), kNoPart);
+    for (std::size_t v = 0; v < parts.size(); ++v) {
+      PartId& p = label_part[guide[v]];
+      VP_CHECK(p == kNoPart || p == parts[v],
+               "guided v-cycle: guide label " << int(guide[v])
+                 << " spans both parts — guide must refine parts");
+      p = parts[v];
+    }
+  }
+  std::vector<PartId> candidate = parts;
+  const Weight before = compute_cut(*problem.graph, parts);
+  const Weight after =
+      run_internal(problem, rng, candidate, /*restricted=*/true, &guide);
   if (after <= before && check_solution(problem, candidate).empty()) {
     parts = std::move(candidate);
     return after;

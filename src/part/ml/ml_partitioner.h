@@ -58,6 +58,18 @@ class MlPartitioner final : public Bipartitioner {
   Weight vcycle(const PartitionProblem& problem, Rng& rng,
                 std::vector<PartId>& parts);
 
+  /// Recombination V-cycle (memetic engine): like vcycle(), but the
+  /// restricted coarsening clusters only vertices with EQUAL labels in
+  /// `guide` rather than equal parts.  The memetic recombination
+  /// operator passes guide[v] = 2*p1[v] + p2[v] (the two parents'
+  /// agreement classes), so clustering respects both parents at once.
+  /// `guide` must REFINE `parts` — vertices sharing a guide label share
+  /// a part — or the downward projection would be ill-defined; this is
+  /// checked.  Accepts the result only when feasible and not worse.
+  Weight vcycle_guided(const PartitionProblem& problem, Rng& rng,
+                       std::vector<PartId>& parts,
+                       const std::vector<PartId>& guide);
+
   UpdateWork update_work() const override { return work_; }
 
   const MlConfig& config() const { return config_; }
@@ -65,9 +77,12 @@ class MlPartitioner final : public Bipartitioner {
  private:
   /// Core multilevel descent: builds a hierarchy (optionally respecting
   /// `parts` when restricted), solves/adopts the coarsest solution, and
-  /// refines on the way up.
+  /// refines on the way up.  When restricted, `cluster_guide` (if
+  /// non-null) replaces `parts` as the label vector the coarsening
+  /// respects; it must refine `parts`.
   Weight run_internal(const PartitionProblem& problem, Rng& rng,
-                      std::vector<PartId>& parts, bool restricted);
+                      std::vector<PartId>& parts, bool restricted,
+                      const std::vector<PartId>* cluster_guide = nullptr);
 
   /// Lazily created owned pool, sized max(refine_threads,
   /// coarsen_threads); nullptr while both knobs are 1.  Owned (not

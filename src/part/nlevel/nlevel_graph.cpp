@@ -1,0 +1,146 @@
+#include "src/part/nlevel/nlevel_graph.h"
+
+#include <algorithm>
+
+namespace vlsipart {
+
+void NlevelGraph::bind(const Hypergraph& h) {
+  h_ = &h;
+  const std::size_t n = h.num_vertices();
+  const std::size_t m = h.num_edges();
+
+  pin_data_.resize(h.num_pins());
+  pin_begin_.resize(m);
+  pin_size_.resize(m);
+  std::size_t offset = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto pins = h.pins(e);
+    pin_begin_[e] = offset;
+    pin_size_[e] = static_cast<std::uint32_t>(pins.size());
+    std::copy(pins.begin(), pins.end(), pin_data_.begin() + offset);
+    offset += pins.size();
+  }
+
+  incidence_.resize(n);
+  weight_.resize(n);
+  wdeg_.resize(n);
+  active_.assign(n, 1);
+  absorbed_into_.resize(n);
+  max_wdeg_ = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto edges = h.incident_edges(v);
+    incidence_[v].assign(edges.begin(), edges.end());
+    weight_[v] = h.vertex_weight(v);
+    absorbed_into_[v] = v;
+    Weight wd = 0;
+    for (const EdgeId e : edges) wd += h.edge_weight(e);
+    wdeg_[v] = wd;
+    max_wdeg_ = std::max(max_wdeg_, wd);
+  }
+  ops_.clear();
+  mementos_.clear();
+  num_active_ = n;
+}
+
+void NlevelGraph::contract(VertexId u, VertexId v) {
+  VP_DCHECK(u != v, "contract needs two distinct clusters");
+  VP_DCHECK(active_[u] != 0 && active_[v] != 0,
+            "contract operands must be active");
+  Memento m;
+  m.u = u;
+  m.v = v;
+  m.u_incidence_prev = static_cast<std::uint32_t>(incidence_[u].size());
+  m.ops_begin = static_cast<std::uint32_t>(ops_.size());
+
+  Weight appended_weight = 0;
+  for (const EdgeId e : incidence_[v]) {
+    VertexId* p = pin_data_.data() + pin_begin_[e];
+    const std::uint32_t sz = pin_size_[e];
+    std::uint32_t pos_v = sz;
+    bool has_u = false;
+    for (std::uint32_t i = 0; i < sz; ++i) {
+      if (p[i] == v) {
+        pos_v = i;
+      } else if (p[i] == u) {
+        has_u = true;
+      }
+    }
+    VP_DCHECK(pos_v < sz, "absorbed cluster is a pin of its incident net");
+    if (has_u) {
+      // Shared net: swap-remove v's slot into the inactive tail.
+      ops_.push_back(PinOp{e, pos_v, /*removed=*/true});
+      std::swap(p[pos_v], p[sz - 1]);
+      pin_size_[e] = sz - 1;
+    } else {
+      // v's private net: rewrite the slot and hand the net to u.
+      ops_.push_back(PinOp{e, pos_v, /*removed=*/false});
+      p[pos_v] = u;
+      incidence_[u].push_back(e);
+      appended_weight += h_->edge_weight(e);
+    }
+  }
+
+  weight_[u] += weight_[v];
+  wdeg_[u] += appended_weight;
+  max_wdeg_ = std::max(max_wdeg_, wdeg_[u]);
+  active_[v] = 0;
+  absorbed_into_[v] = u;
+  --num_active_;
+  mementos_.push_back(m);
+}
+
+NlevelGraph::Uncontracted NlevelGraph::uncontract(
+    std::vector<EdgeId>* reactivated) {
+  VP_CHECK(!mementos_.empty(), "uncontract needs a contraction to undo");
+  const Memento m = mementos_.back();
+  mementos_.pop_back();
+
+  Weight appended_weight = 0;
+  for (std::size_t k = incidence_[m.u].size(); k-- > m.u_incidence_prev;) {
+    appended_weight += h_->edge_weight(incidence_[m.u][k]);
+  }
+  incidence_[m.u].resize(m.u_incidence_prev);
+
+  // Ops undone in reverse restore the pin arrays exactly, so position
+  // records of older mementos stay valid for their own undo.
+  for (std::size_t i = ops_.size(); i-- > m.ops_begin;) {
+    const PinOp& op = ops_[i];
+    VertexId* p = pin_data_.data() + pin_begin_[op.e];
+    if (op.removed) {
+      const std::uint32_t sz = pin_size_[op.e];
+      pin_size_[op.e] = sz + 1;
+      std::swap(p[op.pos], p[sz]);
+      if (reactivated != nullptr) reactivated->push_back(op.e);
+    } else {
+      p[op.pos] = m.v;
+    }
+  }
+  ops_.resize(m.ops_begin);
+
+  weight_[m.u] -= weight_[m.v];
+  wdeg_[m.u] -= appended_weight;
+  active_[m.v] = 1;
+  absorbed_into_[m.v] = m.v;
+  ++num_active_;
+  return Uncontracted{m.u, m.v};
+}
+
+void NlevelGraph::current_clusters(std::vector<VertexId>& out) const {
+  const std::size_t n = num_vertices();
+  out.assign(n, kInvalidVertex);
+  std::vector<VertexId> chain;
+  for (VertexId v = 0; v < n; ++v) {
+    if (out[v] != kInvalidVertex) continue;
+    chain.clear();
+    VertexId x = v;
+    while (active_[x] == 0 && out[x] == kInvalidVertex) {
+      chain.push_back(x);
+      x = absorbed_into_[x];
+    }
+    const VertexId root = active_[x] != 0 ? x : out[x];
+    out[v] = root;
+    for (const VertexId y : chain) out[y] = root;
+  }
+}
+
+}  // namespace vlsipart

@@ -1,0 +1,123 @@
+// Dynamic cluster-granularity view of a hypergraph supporting n-level
+// partitioning: contract exactly one vertex pair at a time, then undo the
+// contractions one at a time in reverse (LIFO) order.
+//
+// The static CSR Hypergraph is immutable, so the multilevel engine
+// materializes a fresh coarse graph per level.  With one contraction per
+// level that would be O(n) graph builds; this structure instead keeps ONE
+// mutable copy of the pin lists and edits it in place:
+//
+//   * every edge owns a pin array whose ACTIVE PREFIX (pin_size_[e]
+//     entries) holds the current cluster ids on that net — absorbing v
+//     into u either rewrites v's slot to u (u was not on the net) or
+//     swap-removes v's slot into the inactive tail (u already on the
+//     net);
+//   * every active cluster owns an incidence list; contraction appends
+//     the absorbed vertex's non-shared nets to the representative's
+//     list (so for an active cluster the list is exactly its nets, with
+//     no duplicates);
+//   * each contraction records a compact memento: the representative,
+//     the absorbed vertex, the representative's previous incidence
+//     length, and one (edge, position, removed?) op per touched net.
+//
+// uncontract() replays the last memento's ops in reverse: a removal is
+// undone by growing the active prefix and swapping the slot back, a
+// rewrite by restoring v — both restore the pin arrays EXACTLY (not just
+// up to permutation), which is what makes the op positions of earlier
+// mementos valid when their turn comes.  The undo cost is proportional
+// to the absorbed vertex's degree: the O(1)-per-pin undo log of n-level
+// partitioning (arXiv 1505.00693), not a rebuild.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+#include "src/util/logging.h"
+
+namespace vlsipart {
+
+class NlevelGraph {
+ public:
+  NlevelGraph() = default;
+
+  /// (Re)initialize from `h`, reusing buffer capacity across binds so a
+  /// multistart loop pays the allocations once.
+  void bind(const Hypergraph& h);
+
+  std::size_t num_vertices() const { return weight_.size(); }
+  std::size_t num_edges() const { return pin_begin_.size(); }
+  std::size_t num_active() const { return num_active_; }
+  std::size_t num_contractions() const { return mementos_.size(); }
+
+  bool active(VertexId c) const { return active_[c] != 0; }
+  Weight cluster_weight(VertexId c) const { return weight_[c]; }
+  /// Total edge weight incident to cluster c (upper bound on any FM gain
+  /// of moving c; monotone under contraction, so the running maximum is
+  /// a valid gain-bucket bound for the whole uncontraction phase).
+  Weight weighted_degree(VertexId c) const { return wdeg_[c]; }
+  Weight max_weighted_degree() const { return max_wdeg_; }
+
+  Weight edge_weight(EdgeId e) const { return h_->edge_weight(e); }
+
+  /// Current active pins (cluster ids) of edge e.
+  std::span<const VertexId> pins(EdgeId e) const {
+    return {pin_data_.data() + pin_begin_[e], pin_size_[e]};
+  }
+  std::size_t edge_size(EdgeId e) const { return pin_size_[e]; }
+
+  /// Nets incident to the ACTIVE cluster c (exact, duplicate-free).
+  std::span<const EdgeId> incident_edges(VertexId c) const {
+    return {incidence_[c].data(), incidence_[c].size()};
+  }
+
+  /// Absorb active cluster v into active cluster u (u != v).  One level.
+  void contract(VertexId u, VertexId v);
+
+  struct Uncontracted {
+    VertexId u = kInvalidVertex;
+    VertexId v = kInvalidVertex;
+  };
+
+  /// Undo the most recent contraction.  Nets on which v reappears as a
+  /// distinct pin next to u (the nets the pair shared) are appended to
+  /// `reactivated` when non-null — the caller's partition pin counts
+  /// gain one pin on v's side for exactly those nets.
+  Uncontracted uncontract(std::vector<EdgeId>* reactivated);
+
+  /// fine vertex -> current active cluster id (chases the absorption
+  /// chain with memoization; O(n) total).
+  void current_clusters(std::vector<VertexId>& out) const;
+
+ private:
+  struct PinOp {
+    EdgeId e = 0;
+    std::uint32_t pos = 0;
+    /// true: v swap-removed from the active prefix (net shared with u);
+    /// false: the slot at `pos` was rewritten v -> u.
+    bool removed = false;
+  };
+  struct Memento {
+    VertexId u = 0;
+    VertexId v = 0;
+    std::uint32_t u_incidence_prev = 0;
+    std::uint32_t ops_begin = 0;
+  };
+
+  const Hypergraph* h_ = nullptr;
+  std::vector<VertexId> pin_data_;
+  std::vector<std::size_t> pin_begin_;
+  std::vector<std::uint32_t> pin_size_;
+  std::vector<std::vector<EdgeId>> incidence_;
+  std::vector<Weight> weight_;
+  std::vector<Weight> wdeg_;
+  std::vector<std::uint8_t> active_;
+  std::vector<VertexId> absorbed_into_;
+  std::vector<PinOp> ops_;
+  std::vector<Memento> mementos_;
+  std::size_t num_active_ = 0;
+  Weight max_wdeg_ = 0;
+};
+
+}  // namespace vlsipart

@@ -1,0 +1,375 @@
+#include "src/part/nlevel/nlevel_partitioner.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace vlsipart {
+
+namespace {
+
+/// Same derivation rule as CoarsenConfig (coarsen.cpp): clusters stay
+/// well below the balance window and never below the heaviest vertex.
+Weight derived_max_cluster_weight(const Hypergraph& h,
+                                  const NlevelConfig& config) {
+  if (config.max_cluster_weight > 0) return config.max_cluster_weight;
+  const Weight cap = std::max<Weight>(
+      1, h.total_vertex_weight() /
+             static_cast<Weight>(std::max<std::size_t>(config.coarsen_to, 32)));
+  return std::max(cap, h.max_vertex_weight());
+}
+
+}  // namespace
+
+NlevelPartitioner::NlevelPartitioner(NlevelConfig config, std::string name)
+    : config_(config), name_(std::move(name)) {
+  if (name_.empty()) name_ = "nlevel";
+}
+
+std::unique_ptr<Bipartitioner> NlevelPartitioner::clone() const {
+  return std::make_unique<NlevelPartitioner>(config_, name_);
+}
+
+bool NlevelPartitioner::movable(const PartitionProblem& problem,
+                                VertexId c) const {
+  if (!problem.fixed.empty() && problem.fixed[c] != kNoPart) return false;
+  // A cluster heavier than the balance window can never move between two
+  // feasible solutions (the corking exclusion, Sec. 2.3).
+  return graph_.cluster_weight(c) <= problem.balance.window();
+}
+
+VertexId NlevelPartitioner::best_partner(VertexId u, Weight max_cw,
+                                         const std::vector<PartId>& fixed,
+                                         double* rating_out) {
+  rated_.clear();
+  for (const EdgeId e : graph_.incident_edges(u)) {
+    const std::size_t sz = graph_.edge_size(e);
+    if (sz < 2 || sz > config_.max_rated_net_size) continue;
+    const double score = static_cast<double>(graph_.edge_weight(e)) /
+                         static_cast<double>(sz - 1);
+    for (const VertexId c : graph_.pins(e)) {
+      if (c == u) continue;
+      if (rating_[c] == 0.0) rated_.push_back(c);
+      rating_[c] += score;
+    }
+  }
+  double best_r = 0.0;
+  VertexId best = kInvalidVertex;
+  const Weight wu = graph_.cluster_weight(u);
+  for (const VertexId c : rated_) {
+    const double r = rating_[c];
+    rating_[c] = 0.0;
+    if (!fixed.empty() && fixed[c] != kNoPart) continue;
+    if (wu + graph_.cluster_weight(c) > max_cw) continue;
+    if (best == kInvalidVertex || r > best_r || (r == best_r && c < best)) {
+      best_r = r;
+      best = c;
+    }
+  }
+  *rating_out = best_r;
+  return best;
+}
+
+void NlevelPartitioner::coarsen(const PartitionProblem& problem,
+                                Weight max_cw) {
+  const std::size_t n = graph_.num_vertices();
+  const std::vector<PartId>& fixed = problem.fixed;
+  rating_.assign(n, 0.0);
+
+  // Lazy max-heap keyed (rating desc, id asc).  Entries go stale as
+  // neighborhoods contract; a popped entry is re-rated and either
+  // contracted (rating not lower than advertised) or reinserted with its
+  // fresh, lower rating.
+  using Entry = std::pair<double, VertexId>;
+  const auto lower_priority = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(lower_priority)> pq(
+      lower_priority);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!fixed.empty() && fixed[v] != kNoPart) continue;
+    double r = 0.0;
+    if (best_partner(v, max_cw, fixed, &r) != kInvalidVertex) {
+      pq.push(Entry{r, v});
+    }
+  }
+  while (graph_.num_active() > config_.coarsen_to && !pq.empty()) {
+    const Entry top = pq.top();
+    pq.pop();
+    const VertexId v = top.second;
+    if (!graph_.active(v)) continue;
+    double r = 0.0;
+    const VertexId partner = best_partner(v, max_cw, fixed, &r);
+    if (partner == kInvalidVertex) continue;
+    if (r < top.first) {
+      pq.push(Entry{r, v});
+      continue;
+    }
+    graph_.contract(v, partner);
+    double r2 = 0.0;
+    if (best_partner(v, max_cw, fixed, &r2) != kInvalidVertex) {
+      pq.push(Entry{r2, v});
+    }
+  }
+}
+
+void NlevelPartitioner::solve_coarsest(const PartitionProblem& problem,
+                                       Rng& rng) {
+  const Hypergraph& h = *problem.graph;
+  graph_.current_clusters(cluster_scratch_);
+  const ContractionResult cr =
+      contract(h, cluster_scratch_, &contraction_memory_);
+
+  PartitionProblem coarse_problem;
+  coarse_problem.graph = &cr.coarse;
+  coarse_problem.balance = problem.balance;
+  if (!problem.fixed.empty()) {
+    // Project fixed constraints onto the clusters (the coarsening never
+    // merges differently-fixed vertices — best_partner skips them).
+    std::vector<PartId> coarse_fixed(cr.coarse.num_vertices(), kNoPart);
+    for (std::size_t v = 0; v < problem.fixed.size(); ++v) {
+      if (problem.fixed[v] == kNoPart) continue;
+      PartId& slot = coarse_fixed[cr.fine_to_coarse[v]];
+      VP_CHECK(slot == kNoPart || slot == problem.fixed[v],
+               "n-level coarsening merged fixed vertices of different parts");
+      slot = problem.fixed[v];
+    }
+    coarse_problem.fixed = std::move(coarse_fixed);
+  }
+
+  FmRefiner refiner(coarse_problem, config_.refine);
+  std::vector<PartId> coarse_parts;
+  Weight best = std::numeric_limits<Weight>::max();
+  bool best_feasible = false;
+  for (std::size_t t = 0; t < std::max<std::size_t>(1, config_.initial_tries);
+       ++t) {
+    std::vector<PartId> trial =
+        make_initial(coarse_problem, config_.initial_scheme, t, rng);
+    PartitionState state(cr.coarse);
+    state.assign(trial);
+    work_.absorb(refiner.refine(state, rng).update_work());
+    const bool feasible =
+        check_solution(coarse_problem, state.parts()).empty();
+    const Weight cut = state.cut();
+    if (coarse_parts.empty() ||
+        (feasible && (!best_feasible || cut < best))) {
+      coarse_parts = state.parts();
+      best = cut;
+      best_feasible = feasible;
+    }
+  }
+
+  side_.assign(graph_.num_vertices(), 0);
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    if (graph_.active(v)) side_[v] = coarse_parts[cr.fine_to_coarse[v]];
+  }
+}
+
+Gain NlevelPartitioner::cluster_gain(VertexId c) const {
+  const PartId from = side_[c];
+  Gain g = 0;
+  for (const EdgeId e : graph_.incident_edges(c)) {
+    const Weight w = graph_.edge_weight(e);
+    const std::uint32_t* ps = &pins_side_[2 * static_cast<std::size_t>(e)];
+    if (ps[from] == 1) g += w;
+    if (ps[from ^ 1] == 0) g -= w;
+  }
+  return g;
+}
+
+void NlevelPartitioner::flip(VertexId c) {
+  const PartId from = side_[c];
+  const PartId to = from ^ 1;
+  for (const EdgeId e : graph_.incident_edges(c)) {
+    std::uint32_t* ps = &pins_side_[2 * static_cast<std::size_t>(e)];
+    const Weight w = graph_.edge_weight(e);
+    if (ps[to] == 0 && ps[from] > 1) {
+      cut_ += w;
+    } else if (ps[from] == 1 && ps[to] > 0) {
+      cut_ -= w;
+    }
+    --ps[from];
+    ++ps[to];
+  }
+  const Weight wt = graph_.cluster_weight(c);
+  part_weight_[from] -= wt;
+  part_weight_[to] += wt;
+  side_[c] = to;
+}
+
+void NlevelPartitioner::local_search(const PartitionProblem& problem,
+                                     VertexId u, VertexId v) {
+  ++epoch_;
+  buckets_->reset(graph_.max_weighted_degree());
+
+  const auto activate = [&](VertexId c) {
+    if (locked_epoch_[c] == epoch_ || buckets_->contains(c)) return;
+    if (!movable(problem, c)) return;
+    buckets_->push_front(c, side_[c], cluster_gain(c));
+  };
+  activate(u);
+  activate(v);
+
+  // (imbalance excess, cut) — lexicographic, so a search entered with an
+  // infeasible assignment prefers restoring feasibility.
+  const auto state_key = [&] {
+    const Weight w0 = part_weight_[0];
+    Weight excess = 0;
+    if (w0 > problem.balance.max_part()) excess = w0 - problem.balance.max_part();
+    if (w0 < problem.balance.min_part()) excess = problem.balance.min_part() - w0;
+    return std::pair<Weight, Weight>(excess, cut_);
+  };
+
+  // Highest-gain balance-legal candidate over both sides: the side with
+  // the higher max key is scanned first (ties: side 0), each bucket from
+  // its head.
+  const auto select = [&]() -> VertexId {
+    int order[2] = {0, 1};
+    const bool has0 = buckets_->size(0) > 0;
+    const bool has1 = buckets_->size(1) > 0;
+    if (has0 && has1 && buckets_->max_key(1) > buckets_->max_key(0)) {
+      order[0] = 1;
+      order[1] = 0;
+    } else if (!has0 && has1) {
+      order[0] = 1;
+      order[1] = 0;
+    }
+    for (const int g : order) {
+      if (buckets_->size(g) == 0) continue;
+      for (Gain k = buckets_->max_key(g);
+           k >= buckets_->min_representable_key();
+           k = buckets_->next_nonempty_below(g, k)) {
+        for (VertexId c = buckets_->front(g, k); c != kInvalidVertex;
+             c = buckets_->next(c)) {
+          if (problem.balance.move_legal(part_weight_[0],
+                                         graph_.cluster_weight(c),
+                                         side_[c])) {
+            return c;
+          }
+        }
+      }
+    }
+    return kInvalidVertex;
+  };
+
+  local_moves_.clear();
+  auto best_key = state_key();
+  std::size_t best_prefix = 0;
+  std::size_t since_best = 0;
+  while (since_best < config_.local_moves_past_best) {
+    const VertexId c = select();
+    if (c == kInvalidVertex) break;
+    buckets_->erase(c);
+    locked_epoch_[c] = epoch_;
+    flip(c);
+    local_moves_.push_back(LocalMove{c});
+    const auto key = state_key();
+    if (key < best_key) {
+      best_key = key;
+      best_prefix = local_moves_.size();
+      since_best = 0;
+    } else {
+      ++since_best;
+    }
+    for (const EdgeId e : graph_.incident_edges(c)) {
+      for (const VertexId x : graph_.pins(e)) {
+        if (x == c || locked_epoch_[x] == epoch_) continue;
+        if (buckets_->contains(x)) {
+          work_.nets_walked += graph_.incident_edges(x).size();
+          ++work_.nonzero_delta_updates;
+          buckets_->move_to(x, cluster_gain(x), /*front=*/true);
+        } else {
+          activate(x);
+        }
+      }
+    }
+  }
+  while (local_moves_.size() > best_prefix) {
+    flip(local_moves_.back().c);
+    local_moves_.pop_back();
+  }
+}
+
+Weight NlevelPartitioner::run(const PartitionProblem& problem, Rng& rng,
+                              std::vector<PartId>& parts) {
+  const Hypergraph& h = *problem.graph;
+  const std::size_t n = h.num_vertices();
+  const std::size_t m = h.num_edges();
+  const AuditConfig audit = AuditConfig::resolve(config_.refine.audit);
+
+  graph_.bind(h);
+  coarsen(problem, derived_max_cluster_weight(h, config_));
+  solve_coarsest(problem, rng);
+
+  // Partition bookkeeping at cluster granularity.
+  pins_side_.assign(2 * m, 0);
+  part_weight_[0] = 0;
+  part_weight_[1] = 0;
+  cut_ = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    for (const VertexId c : graph_.pins(e)) {
+      ++pins_side_[2 * static_cast<std::size_t>(e) + side_[c]];
+    }
+    const std::uint32_t* ps = &pins_side_[2 * static_cast<std::size_t>(e)];
+    if (ps[0] > 0 && ps[1] > 0) cut_ += h.edge_weight(e);
+  }
+  for (VertexId c = 0; c < n; ++c) {
+    if (graph_.active(c)) part_weight_[side_[c]] += graph_.cluster_weight(c);
+  }
+
+  if (buckets_ == nullptr || n != bucket_n_) {
+    buckets_ = std::make_unique<BucketArray<2>>(n);
+    bucket_n_ = n;
+  }
+  locked_epoch_.assign(n, 0);
+  epoch_ = 0;
+
+  // Uncontract one vertex per level; localized FM after each split.
+  while (graph_.num_contractions() > 0) {
+    reactivated_.clear();
+    const NlevelGraph::Uncontracted uc = graph_.uncontract(&reactivated_);
+    side_[uc.v] = side_[uc.u];
+    for (const EdgeId e : reactivated_) {
+      ++pins_side_[2 * static_cast<std::size_t>(e) + side_[uc.u]];
+    }
+    local_search(problem, uc.u, uc.v);
+    if (audit.enabled()) {
+      // Cheap incremental audit: the maintained cut must match the pin
+      // counts, and the part weights must match the active clusters.
+      Weight cut = 0;
+      for (EdgeId e = 0; e < m; ++e) {
+        const std::uint32_t* ps =
+            &pins_side_[2 * static_cast<std::size_t>(e)];
+        if (ps[0] > 0 && ps[1] > 0) cut += h.edge_weight(e);
+      }
+      VP_CHECK(cut == cut_, "nlevel audit: pin-count cut " << cut
+                              << " != maintained cut " << cut_);
+      Weight w[2] = {0, 0};
+      for (VertexId c = 0; c < n; ++c) {
+        if (graph_.active(c)) w[side_[c]] += graph_.cluster_weight(c);
+      }
+      VP_CHECK(w[0] == part_weight_[0] && w[1] == part_weight_[1],
+               "nlevel audit: part weights drifted");
+    }
+  }
+
+  parts.assign(side_.begin(), side_.end());
+  if (audit.enabled()) {
+    const Weight cut = compute_cut(h, parts);
+    VP_CHECK(cut == cut_, "nlevel audit: final cut " << cut
+                            << " != maintained cut " << cut_);
+  }
+
+  if (config_.final_refine) {
+    PartitionState state(h);
+    state.assign(parts);
+    FmRefiner refiner(problem, config_.refine);
+    work_.absorb(refiner.refine(state, rng).update_work());
+    parts = state.parts();
+    cut_ = state.cut();
+  }
+  return cut_;
+}
+
+}  // namespace vlsipart

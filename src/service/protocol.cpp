@@ -117,8 +117,23 @@ bool parse_submit(const JsonValue& request, SubmitRequest& out,
   if (const JsonValue* v = request.find("engine")) {
     out.engine = v->as_string();
   }
-  if (out.engine != "ml" && out.engine != "flat" && out.engine != "clip") {
-    if (error != nullptr) *error = "engine must be one of ml|flat|clip";
+  if (out.engine != "ml" && out.engine != "flat" && out.engine != "clip" &&
+      out.engine != "nlevel" && out.engine != "evo") {
+    if (error != nullptr) {
+      *error = "engine must be one of ml|flat|clip|nlevel|evo";
+    }
+    return false;
+  }
+  if ((out.engine == "nlevel" || out.engine == "evo") && out.k != 2) {
+    if (error != nullptr) {
+      *error = "engine " + out.engine + " is a bipartitioner (k must be 2)";
+    }
+    return false;
+  }
+  if (!get_size(request, "population", 6, 1, 64, out.population, error)) {
+    return false;
+  }
+  if (!get_size(request, "generations", 8, 0, 256, out.generations, error)) {
     return false;
   }
   if (const JsonValue* v = request.find("seed")) {
@@ -163,6 +178,10 @@ JsonValue submit_to_json(const SubmitRequest& request) {
           JsonValue::integer(static_cast<std::int64_t>(request.starts)));
   out.set("vcycles",
           JsonValue::integer(static_cast<std::int64_t>(request.vcycles)));
+  out.set("population",
+          JsonValue::integer(static_cast<std::int64_t>(request.population)));
+  out.set("generations",
+          JsonValue::integer(static_cast<std::int64_t>(request.generations)));
   out.set("seed",
           JsonValue::integer(static_cast<std::int64_t>(request.seed)));
   if (request.deadline_ms > 0) {
@@ -185,6 +204,8 @@ std::uint64_t result_cache_key(const SubmitRequest& request,
   h = fnv1a64_value(request.tolerance, h);
   h = fnv1a64_value<std::uint64_t>(request.starts, h);
   h = fnv1a64_value<std::uint64_t>(request.vcycles, h);
+  h = fnv1a64_value<std::uint64_t>(request.population, h);
+  h = fnv1a64_value<std::uint64_t>(request.generations, h);
   h = fnv1a64_value(request.seed, h);
   return h;
 }

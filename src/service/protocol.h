@@ -61,9 +61,13 @@ struct SubmitRequest {
   InstanceSpec instance;
   std::size_t k = 2;
   double tolerance = 0.02;
-  std::string engine = "ml";  // ml | flat | clip
+  std::string engine = "ml";  // ml | flat | clip | nlevel | evo
   std::size_t starts = 4;
   std::size_t vcycles = 1;    // k == 2, ml engine only
+  /// Memetic knobs (evo engine only; ignored — but still part of the
+  /// result-cache key — for every other engine).
+  std::size_t population = 6;
+  std::size_t generations = 8;
   std::uint64_t seed = 1;
   /// Admission-to-start budget in ms; a job still queued when it expires
   /// is answered with state "expired" instead of running.  0 = none.

@@ -11,8 +11,10 @@
 
 #include "src/part/core/multistart.h"
 #include "src/part/core/partitioner.h"
+#include "src/part/evo/evo_partitioner.h"
 #include "src/part/kway/recursive_bisection.h"
 #include "src/part/ml/ml_partitioner.h"
+#include "src/part/nlevel/nlevel_partitioner.h"
 #include "src/service/hash.h"
 #include "src/util/shutdown.h"
 #include "src/util/timer.h"
@@ -62,13 +64,15 @@ struct WorkerEngines {
   MlPartitioner ml;
   FlatFmPartitioner flat;
   FlatFmPartitioner clip;
+  NlevelPartitioner nlevel;
 
   WorkerEngines(std::size_t refine, std::size_t coarsen)
       : refine_threads(refine == 0 ? 1 : refine),
         coarsen_threads(coarsen == 0 ? 1 : coarsen),
         ml(make_ml_config(refine_threads, coarsen_threads)),
         flat(make_fm_config(/*clip_mode=*/false, refine_threads)),
-        clip(make_fm_config(/*clip_mode=*/true, refine_threads)) {}
+        clip(make_fm_config(/*clip_mode=*/true, refine_threads)),
+        nlevel(NlevelConfig{}) {}
 
   static FmConfig make_fm_config(bool clip_mode, std::size_t threads) {
     FmConfig fm;
@@ -111,6 +115,20 @@ ExecOutcome execute_request(const SubmitRequest& req, const Hypergraph& h,
     if (req.engine == "ml") {
       r = run_hmetis_like(problem, engines.ml, req.starts, req.vcycles,
                           req.seed);
+    } else if (req.engine == "nlevel") {
+      r = run_multistart(problem, engines.nlevel, req.starts, req.seed);
+    } else if (req.engine == "evo") {
+      // population/generations are per-request, so the evo engine is
+      // constructed per job (the resident ML engines it wraps are the
+      // expensive part, and those live inside the EvoPartitioner anyway;
+      // a run on a cold engine is bit-identical to a warm one).
+      EvoConfig config;
+      config.population = req.population;
+      config.generations = req.generations;
+      config.ml.refine.refine_threads = engines.refine_threads;
+      config.ml.coarsen.coarsen_threads = engines.coarsen_threads;
+      EvoPartitioner engine(config);
+      r = run_multistart(problem, engine, req.starts, req.seed);
     } else {
       FlatFmPartitioner& engine =
           req.engine == "clip" ? engines.clip : engines.flat;

@@ -113,6 +113,34 @@ void CliArgs::check_known(const std::vector<std::string>& allowed) const {
   }
 }
 
+const std::string& CliArgs::check_known_value(
+    const std::string& flag, const std::string& value,
+    const std::vector<std::string>& allowed) {
+  if (std::find(allowed.begin(), allowed.end(), value) != allowed.end()) {
+    return value;
+  }
+  std::string vocabulary;
+  for (const std::string& candidate : allowed) {
+    if (!vocabulary.empty()) vocabulary += "|";
+    vocabulary += candidate;
+  }
+  std::string message =
+      "unknown --" + flag + " (" + vocabulary + "): " + value;
+  std::size_t best = 4;
+  const std::string* suggestion = nullptr;
+  for (const std::string& candidate : allowed) {
+    const std::size_t d = edit_distance(value, candidate);
+    if (d < best) {
+      best = d;
+      suggestion = &candidate;
+    }
+  }
+  if (suggestion != nullptr) {
+    message += " (did you mean --" + flag + " " + *suggestion + "?)";
+  }
+  throw std::invalid_argument(message);
+}
+
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;

@@ -35,6 +35,15 @@ class CliArgs {
   /// option vocabulary.
   void check_known(const std::vector<std::string>& allowed) const;
 
+  /// Validate an option VALUE against a closed vocabulary (same
+  /// did-you-mean treatment check_known() gives option NAMES): throws
+  /// std::invalid_argument listing `allowed` and suggesting the closest
+  /// spelling — catches "--engine nlvel" before it silently falls into
+  /// a default branch.  Returns `value` for chaining.
+  static const std::string& check_known_value(
+      const std::string& flag, const std::string& value,
+      const std::vector<std::string>& allowed);
+
   /// Non-option positional arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -13,8 +13,9 @@
 //   --op submit|stats|ping|shutdown  (default submit)
 //   --case NAME / --hgr F / --ispd98 P   instance source
 //   --scale 0.5  --gen-seed 0        synthetic preset shaping
-//   --k 2  --tolerance 0.02  --engine ml|flat|clip
+//   --k 2  --tolerance 0.02  --engine ml|flat|clip|nlevel|evo
 //   --starts 4  --vcycles 1  --seed 1
+//   --population 6  --generations 8   (evo engine)
 //   --deadline-ms 0                  queue-time budget (0 = none)
 //   --parts                          include the assignment in the reply
 //   --no-result-cache                force recomputation server-side
@@ -33,8 +34,9 @@ int main(int argc, char** argv) {
   try {
     args.check_known({"socket", "op", "case", "hgr", "ispd98", "scale",
                       "gen-seed", "k", "tolerance", "engine", "starts",
-                      "vcycles", "seed", "deadline-ms", "parts",
-                      "no-result-cache", "timeout-ms"});
+                      "vcycles", "population", "generations", "seed",
+                      "deadline-ms", "parts", "no-result-cache",
+                      "timeout-ms"});
     Endpoint endpoint;
     std::string error;
     if (!Endpoint::parse(args.get("socket", "unix:/tmp/vpartd.sock"),
@@ -93,9 +95,15 @@ int main(int argc, char** argv) {
     }
     request.k = static_cast<std::size_t>(args.get_int("k", 2));
     request.tolerance = args.get_double("tolerance", 0.02);
-    request.engine = args.get("engine", "ml");
+    request.engine = CliArgs::check_known_value(
+        "engine", args.get("engine", "ml"),
+        {"ml", "flat", "clip", "nlevel", "evo"});
     request.starts = static_cast<std::size_t>(args.get_int("starts", 4));
     request.vcycles = static_cast<std::size_t>(args.get_int("vcycles", 1));
+    request.population =
+        static_cast<std::size_t>(args.get_int("population", 6));
+    request.generations =
+        static_cast<std::size_t>(args.get_int("generations", 8));
     request.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     request.deadline_ms = args.get_int("deadline-ms", 0);
     request.include_parts = args.get_bool("parts");
