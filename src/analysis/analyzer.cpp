@@ -201,7 +201,10 @@ AnalysisResult analyze_buffers(const std::vector<SourceBuffer>& files,
 
   std::vector<Finding> raw;
   for (const FileUnit& unit : corpus.units) {
-    if (unit.linted) run_determinism_rules(unit, filter, raw);
+    if (unit.linted) {
+      run_determinism_rules(unit, filter, raw);
+      run_dataflow_rules(unit, filter, raw);
+    }
   }
   run_knob_rule(corpus, filter, raw);
 
@@ -217,6 +220,7 @@ AnalysisResult analyze_buffers(const std::vector<SourceBuffer>& files,
     if (unit.linted) allows[unit.lexed.path] = collect_allows(unit.lexed);
   }
 
+  std::set<std::pair<std::string, std::string>> used_baseline;
   for (Finding& f : raw) {
     const auto file_it = allows.find(f.path);
     if (file_it != allows.end()) {
@@ -229,9 +233,28 @@ AnalysisResult analyze_buffers(const std::vector<SourceBuffer>& files,
     }
     if (baseline.entries.count({f.rule, f.path}) != 0) {
       ++result.baselined;
+      used_baseline.insert({f.rule, f.path});
       continue;
     }
     result.findings.push_back(std::move(f));
+  }
+
+  // Stale-baseline detection: an entry whose rule ran and whose file was
+  // linted must have matched at least one finding, or it is dead weight
+  // that would silently mask a future regression.  Entries for files
+  // outside this invocation's lint set (or rules filtered out by
+  // --rules) are not judged — partial runs must not invalidate the
+  // shared baseline.
+  std::set<std::string> linted_paths;
+  for (const FileUnit& unit : corpus.units) {
+    if (unit.linted) linted_paths.insert(unit.lexed.path);
+  }
+  for (const auto& entry : baseline.entries) {
+    if (used_baseline.count(entry) != 0) continue;
+    if (!filter.enabled(entry.first.c_str())) continue;
+    if (linted_paths.count(entry.second) == 0) continue;
+    result.errors.push_back("stale baseline entry (matches no finding): " +
+                            entry.first + "|" + entry.second);
   }
 
   std::sort(result.findings.begin(), result.findings.end(),

@@ -1,0 +1,430 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+
+namespace vlsipart::analysis {
+
+namespace {
+
+class CfgBuilder {
+ public:
+  CfgBuilder(const std::vector<Token>& tokens, const FunctionDef& def)
+      : T(tokens), def_(def) {}
+
+  Cfg run() {
+    cfg_.blocks.resize(2);  // entry, exit
+    const int first = new_block();
+    edge(cfg_.entry, first);
+    const int fall =
+        parse_stmts(def_.body_begin + 1, def_.body_end, first);
+    if (fall != -1) edge(fall, cfg_.exit);
+    compute_dominators();
+    return std::move(cfg_);
+  }
+
+ private:
+  bool is(std::size_t i, const char* p) const {
+    return i < limit() && T[i].is_punct(p);
+  }
+  bool is_kw(std::size_t i, const char* s) const {
+    return i < limit() && T[i].is_ident(s);
+  }
+  std::size_t limit() const { return std::min(def_.body_end, T.size()); }
+
+  std::size_t match(std::size_t open, const char* o, const char* c) const {
+    int depth = 0;
+    for (std::size_t i = open; i < limit(); ++i) {
+      if (T[i].is_punct(o)) ++depth;
+      if (T[i].is_punct(c) && --depth == 0) return i;
+    }
+    return limit();
+  }
+
+  int new_block() {
+    cfg_.blocks.emplace_back();
+    return static_cast<int>(cfg_.blocks.size()) - 1;
+  }
+
+  void edge(int a, int b) {
+    std::vector<int>& s = cfg_.blocks[a].succs;
+    if (std::find(s.begin(), s.end(), b) != s.end()) return;
+    s.push_back(b);
+    cfg_.blocks[b].preds.push_back(a);
+  }
+
+  /// Record tokens [begin, end) as one statement of block `blk`.
+  /// Empty ranges are ignored (empty for-clauses, bare `;`).
+  void add_stmt(std::size_t begin, std::size_t end, int blk) {
+    if (begin >= end) return;
+    CfgStmt s;
+    s.begin = begin;
+    s.end = end;
+    s.line = T[begin].line;
+    s.col = T[begin].col;
+    cfg_.stmts.push_back(s);
+    cfg_.blocks[blk].stmts.push_back(
+        static_cast<int>(cfg_.stmts.size()) - 1);
+    cfg_.block_of_stmt.push_back(blk);
+  }
+
+  /// End of the simple statement starting at `i`: past the ';' that
+  /// terminates it at nesting depth 0 (lambda bodies and initializer
+  /// braces nest), or at the closing position `end`.
+  std::size_t simple_stmt_end(std::size_t i, std::size_t end) const {
+    int depth = 0;
+    for (; i < end; ++i) {
+      if (T[i].is_punct("(") || T[i].is_punct("[") || T[i].is_punct("{")) {
+        ++depth;
+      } else if (T[i].is_punct(")") || T[i].is_punct("]") ||
+                 T[i].is_punct("}")) {
+        if (depth == 0) return i;  // unbalanced close: statement ends
+        --depth;
+      } else if (depth == 0 && T[i].is_punct(";")) {
+        return i + 1;
+      }
+    }
+    return end;
+  }
+
+  /// Parse statements in [i, end) starting in block `cur`.  Returns the
+  /// block control falls out of, or -1 when no path falls through.
+  int parse_stmts(std::size_t i, std::size_t end, int cur) {
+    while (i < end) {
+      if (cur == -1) cur = new_block();  // unreachable code still gets blocks
+      const auto [next, fall] = parse_one(i, end, cur);
+      if (next <= i) break;  // no progress: malformed input, stop
+      i = next;
+      cur = fall;
+    }
+    return cur;
+  }
+
+  /// Parse exactly one statement at `i`.  Returns {index past it,
+  /// fall-through block or -1}.
+  std::pair<std::size_t, int> parse_one(std::size_t i, std::size_t end,
+                                        int cur) {
+    const Token& t = T[i];
+    if (t.is_punct(";")) return {i + 1, cur};
+    if (t.is_punct("{")) {
+      const std::size_t close = match(i, "{", "}");
+      const int fall = parse_stmts(i + 1, std::min(close, end), cur);
+      return {close + 1, fall};
+    }
+    if (t.is_ident("if")) return parse_if(i, end, cur);
+    if (t.is_ident("while")) return parse_while(i, end, cur);
+    if (t.is_ident("do")) return parse_do(i, end, cur);
+    if (t.is_ident("for")) return parse_for(i, end, cur);
+    if (t.is_ident("switch")) return parse_switch(i, end, cur);
+    if (t.is_ident("try")) return parse_try(i, end, cur);
+    if (t.is_ident("return") || t.is_ident("co_return")) {
+      const std::size_t stop = simple_stmt_end(i, end);
+      add_stmt(i, stop, cur);
+      edge(cur, cfg_.exit);
+      return {stop, -1};
+    }
+    if (t.is_ident("break") && !break_targets_.empty()) {
+      const std::size_t stop = simple_stmt_end(i, end);
+      add_stmt(i, stop, cur);
+      edge(cur, break_targets_.back());
+      return {stop, -1};
+    }
+    if (t.is_ident("continue") && !continue_targets_.empty()) {
+      const std::size_t stop = simple_stmt_end(i, end);
+      add_stmt(i, stop, cur);
+      edge(cur, continue_targets_.back());
+      return {stop, -1};
+    }
+    if (t.is_ident("goto")) {  // not modeled: stop propagation here
+      const std::size_t stop = simple_stmt_end(i, end);
+      add_stmt(i, stop, cur);
+      edge(cur, cfg_.exit);
+      return {stop, -1};
+    }
+    if (t.is_ident("throw")) {
+      const std::size_t stop = simple_stmt_end(i, end);
+      add_stmt(i, stop, cur);
+      edge(cur, cfg_.exit);
+      return {stop, -1};
+    }
+    // Simple statement (declaration, expression, label).
+    const std::size_t stop = simple_stmt_end(i, end);
+    add_stmt(i, stop, cur);
+    return {stop, cur};
+  }
+
+  std::pair<std::size_t, int> parse_if(std::size_t i, std::size_t end,
+                                       int cur) {
+    std::size_t j = i + 1;
+    if (is_kw(j, "constexpr")) ++j;
+    if (!is(j, "(")) return {simple_stmt_end(i, end), cur};
+    const std::size_t close = match(j, "(", ")");
+    add_stmt(i, close + 1, cur);  // condition (and any init-statement)
+    const int then_block = new_block();
+    edge(cur, then_block);
+    auto [after_then, then_fall] = parse_one(close + 1, end, then_block);
+    std::size_t next = after_then;
+    int else_fall = cur;  // condition-false path falls straight through
+    if (is_kw(after_then, "else")) {
+      const int else_block = new_block();
+      edge(cur, else_block);
+      auto [after_else, ef] = parse_one(after_then + 1, end, else_block);
+      next = after_else;
+      else_fall = ef;
+    }
+    if (then_fall == -1 && else_fall == -1) return {next, -1};
+    const int join = new_block();
+    if (then_fall != -1) edge(then_fall, join);
+    if (else_fall != -1) edge(else_fall, join);
+    return {next, join};
+  }
+
+  std::pair<std::size_t, int> parse_while(std::size_t i, std::size_t end,
+                                          int cur) {
+    std::size_t j = i + 1;
+    if (!is(j, "(")) return {simple_stmt_end(i, end), cur};
+    const std::size_t close = match(j, "(", ")");
+    const int head = new_block();
+    edge(cur, head);
+    add_stmt(i, close + 1, head);
+    const int body = new_block();
+    const int after = new_block();
+    edge(head, body);
+    edge(head, after);
+    break_targets_.push_back(after);
+    continue_targets_.push_back(head);
+    auto [next, body_fall] = parse_one(close + 1, end, body);
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    if (body_fall != -1) edge(body_fall, head);
+    return {next, after};
+  }
+
+  std::pair<std::size_t, int> parse_do(std::size_t i, std::size_t end,
+                                       int cur) {
+    const int body = new_block();
+    edge(cur, body);
+    const int cond = new_block();
+    const int after = new_block();
+    break_targets_.push_back(after);
+    continue_targets_.push_back(cond);
+    auto [after_body, body_fall] = parse_one(i + 1, end, body);
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    if (body_fall != -1) edge(body_fall, cond);
+    std::size_t next = after_body;
+    if (is_kw(next, "while")) {
+      const std::size_t open = next + 1;
+      const std::size_t close = is(open, "(") ? match(open, "(", ")") : open;
+      add_stmt(next, close + 1, cond);
+      next = close + 1;
+      if (is(next, ";")) ++next;
+    }
+    edge(cond, body);
+    edge(cond, after);
+    return {next, after};
+  }
+
+  std::pair<std::size_t, int> parse_for(std::size_t i, std::size_t end,
+                                        int cur) {
+    std::size_t j = i + 1;
+    if (!is(j, "(")) return {simple_stmt_end(i, end), cur};
+    const std::size_t close = match(j, "(", ")");
+    // Top-level ';' positions split the classic for header; a header
+    // with none is a range-for.
+    std::vector<std::size_t> semis;
+    int depth = 0;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      if (T[k].is_punct("(") || T[k].is_punct("[") || T[k].is_punct("{")) {
+        ++depth;
+      } else if (T[k].is_punct(")") || T[k].is_punct("]") ||
+                 T[k].is_punct("}")) {
+        --depth;
+      } else if (depth == 0 && T[k].is_punct(";")) {
+        semis.push_back(k);
+      }
+    }
+    if (semis.size() < 2) {  // range-for: one header statement
+      const int head = new_block();
+      edge(cur, head);
+      add_stmt(i, close + 1, head);
+      const int body = new_block();
+      const int after = new_block();
+      edge(head, body);
+      edge(head, after);
+      break_targets_.push_back(after);
+      continue_targets_.push_back(head);
+      auto [next, body_fall] = parse_one(close + 1, end, body);
+      break_targets_.pop_back();
+      continue_targets_.pop_back();
+      if (body_fall != -1) edge(body_fall, head);
+      return {next, after};
+    }
+    add_stmt(j + 1, semis[0], cur);  // init clause runs once
+    const int head = new_block();
+    edge(cur, head);
+    add_stmt(semis[0] + 1, semis[1], head);  // condition (may be empty)
+    const int body = new_block();
+    const int after = new_block();
+    const int incr = new_block();
+    edge(head, body);
+    edge(head, after);
+    add_stmt(semis[1] + 1, close, incr);
+    break_targets_.push_back(after);
+    continue_targets_.push_back(incr);
+    auto [next, body_fall] = parse_one(close + 1, end, body);
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    if (body_fall != -1) edge(body_fall, incr);
+    edge(incr, head);
+    return {next, after};
+  }
+
+  std::pair<std::size_t, int> parse_switch(std::size_t i, std::size_t end,
+                                           int cur) {
+    std::size_t j = i + 1;
+    if (!is(j, "(")) return {simple_stmt_end(i, end), cur};
+    const std::size_t close = match(j, "(", ")");
+    add_stmt(i, close + 1, cur);  // selector expression
+    if (!is(close + 1, "{")) return {simple_stmt_end(close + 1, end), cur};
+    const std::size_t body_close = match(close + 1, "{", "}");
+    const int after = new_block();
+    break_targets_.push_back(after);
+    bool has_default = false;
+    int seg = -1;  // current case segment's running block
+    std::size_t k = close + 2;
+    while (k < body_close) {
+      const bool is_case = is_kw(k, "case");
+      const bool is_default = is_kw(k, "default") && is(k + 1, ":");
+      if (is_case || is_default) {
+        std::size_t colon = k + 1;
+        while (colon < body_close && !T[colon].is_punct(":")) ++colon;
+        const int nb = new_block();
+        edge(cur, nb);                    // dispatch from the selector
+        if (seg != -1) edge(seg, nb);     // fall-through from above
+        add_stmt(k, colon + 1, nb);       // the label (case expression)
+        if (is_default) has_default = true;
+        seg = nb;
+        k = colon + 1;
+        continue;
+      }
+      if (seg == -1) seg = new_block();  // code before any label: dead
+      const auto [next, fall] = parse_one(k, body_close, seg);
+      if (next <= k) break;
+      k = next;
+      seg = fall;
+      if (seg == -1 && k < body_close && !is_kw(k, "case") &&
+          !(is_kw(k, "default") && is(k + 1, ":"))) {
+        seg = new_block();  // unreachable tail of a broken segment
+      }
+    }
+    if (seg != -1) edge(seg, after);
+    if (!has_default) edge(cur, after);
+    break_targets_.pop_back();
+    return {body_close + 1, after};
+  }
+
+  std::pair<std::size_t, int> parse_try(std::size_t i, std::size_t end,
+                                        int cur) {
+    auto [next, try_fall] = parse_one(i + 1, end, cur);
+    const int join = new_block();
+    if (try_fall != -1) edge(try_fall, join);
+    while (is_kw(next, "catch")) {
+      std::size_t open = next + 1;
+      const std::size_t close =
+          is(open, "(") ? match(open, "(", ")") : open;
+      const int handler = new_block();
+      edge(cur, handler);  // approximation: the throw can skip the body
+      add_stmt(next, close + 1, handler);
+      auto [after_handler, h_fall] = parse_one(close + 1, end, handler);
+      if (h_fall != -1) edge(h_fall, join);
+      next = after_handler;
+    }
+    return {next, join};
+  }
+
+  void compute_dominators() {
+    const int n = static_cast<int>(cfg_.blocks.size());
+    // Reverse postorder from entry.
+    std::vector<int> order;
+    std::vector<int> state(n, 0);
+    std::vector<std::pair<int, std::size_t>> stack{{cfg_.entry, 0}};
+    state[cfg_.entry] = 1;
+    while (!stack.empty()) {
+      auto& [b, next_succ] = stack.back();
+      if (next_succ < cfg_.blocks[b].succs.size()) {
+        const int s = cfg_.blocks[b].succs[next_succ++];
+        if (state[s] == 0) {
+          state[s] = 1;
+          stack.push_back({s, 0});
+        }
+      } else {
+        order.push_back(b);
+        stack.pop_back();
+      }
+    }
+    std::reverse(order.begin(), order.end());
+    std::vector<int> rpo_index(n, -1);
+    for (std::size_t k = 0; k < order.size(); ++k) rpo_index[order[k]] = k;
+
+    cfg_.idom.assign(n, -1);
+    cfg_.idom[cfg_.entry] = cfg_.entry;
+    auto intersect = [&](int a, int b) {
+      while (a != b) {
+        while (rpo_index[a] > rpo_index[b]) a = cfg_.idom[a];
+        while (rpo_index[b] > rpo_index[a]) b = cfg_.idom[b];
+      }
+      return a;
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const int b : order) {
+        if (b == cfg_.entry) continue;
+        int new_idom = -1;
+        for (const int p : cfg_.blocks[b].preds) {
+          if (cfg_.idom[p] == -1) continue;  // pred not yet processed
+          new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+        }
+        if (new_idom != -1 && cfg_.idom[b] != new_idom) {
+          cfg_.idom[b] = new_idom;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  const std::vector<Token>& T;
+  const FunctionDef& def_;
+  Cfg cfg_;
+  std::vector<int> break_targets_;
+  std::vector<int> continue_targets_;
+};
+
+}  // namespace
+
+bool Cfg::dominates(int a, int b) const {
+  if (b < 0 || a < 0 || b >= static_cast<int>(blocks.size())) return false;
+  if (idom[b] == -1) return false;  // unreachable
+  int walk = b;
+  while (true) {
+    if (walk == a) return true;
+    if (walk == entry) return a == entry;
+    walk = idom[walk];
+    if (walk == -1) return false;
+  }
+}
+
+bool Cfg::stmt_dominates(int a, int b) const {
+  if (a < 0 || b < 0) return false;
+  const int ba = block_of_stmt[a];
+  const int bb = block_of_stmt[b];
+  if (ba == bb) return a <= b;
+  return ba != bb && dominates(ba, bb);
+}
+
+Cfg build_cfg(const std::vector<Token>& tokens, const ParsedFile& parsed,
+              int fn) {
+  return CfgBuilder(tokens, parsed.functions[fn]).run();
+}
+
+}  // namespace vlsipart::analysis

@@ -1,0 +1,68 @@
+// Statement-level control-flow graph over one function's token range.
+//
+// Built on the parser's FunctionDef (src/analysis/parser.h): statements
+// are token ranges, basic blocks are maximal straight-line statement
+// sequences, and edges follow the structured control flow the heuristic
+// recognizer can see — if/else, while, do-while, for (classic and
+// range), switch/case with fall-through, break, continue, and early
+// return.  Nested lambda bodies are opaque: their tokens belong to the
+// statement that contains the lambda expression, and each lambda gets
+// its own CFG when a rule asks for one.
+//
+// The graph always has a synthetic entry block (index 0, no
+// statements) and a synthetic exit block (index 1); `return` edges go
+// to the exit, and falling off the end of the body does too.  `goto`
+// is not modeled (the repo has none); a `goto` statement conservatively
+// edges to exit so no fact is propagated past it.
+//
+// Dominators (`idom`, `dominates()`) are computed eagerly with the
+// standard iterative algorithm over a reverse-postorder; rules use them
+// for "is this narrowing dominated by a VP_CHECK guard" queries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/analysis/parser.h"
+#include "src/analysis/token.h"
+
+namespace vlsipart::analysis {
+
+struct CfgStmt {
+  std::size_t begin = 0;  ///< first token index (inclusive)
+  std::size_t end = 0;    ///< one past the last token index
+  int line = 0;           ///< line of the first token
+  int col = 0;
+};
+
+struct CfgBlock {
+  std::vector<int> stmts;  ///< statement indices, execution order
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  std::vector<CfgStmt> stmts;
+  std::vector<CfgBlock> blocks;
+  int entry = 0;  ///< synthetic, empty
+  int exit = 1;   ///< synthetic, empty
+  std::vector<int> block_of_stmt;  ///< parallel to stmts
+  /// Immediate dominator per block; entry's is itself, unreachable
+  /// blocks carry -1.
+  std::vector<int> idom;
+
+  /// True when every path from entry to `b` passes through `a`
+  /// (reflexive: dominates(b, b) is true for reachable b).
+  bool dominates(int a, int b) const;
+  /// Statement-level dominance: `a` dominates `b` when a's block
+  /// strictly dominates b's, or both share a block and a comes first.
+  bool stmt_dominates(int a, int b) const;
+};
+
+/// Build the CFG of `fn` (an index into `parsed.functions`) over the
+/// file's token stream.  Directly nested lambdas' body ranges are
+/// skipped, not traversed.
+Cfg build_cfg(const std::vector<Token>& tokens, const ParsedFile& parsed,
+              int fn);
+
+}  // namespace vlsipart::analysis

@@ -306,6 +306,8 @@ class Parser {
     def.qualified_name =
         qualified.empty() ? def.name : qualified + "::" + def.name;
 
+    def.params_begin = open_paren;
+    def.params_end = close_paren;
     parse_params(open_paren, close_paren, def);
     const int self = static_cast<int>(out_.functions.size());
     out_.functions.push_back(def);
@@ -478,7 +480,11 @@ class Parser {
         i = close_cap + 1;
         continue;
       }
-      if (op != 0) parse_params(op, cp, def);
+      if (op != 0) {
+        def.params_begin = op;
+        def.params_end = cp;
+        parse_params(op, cp, def);
+      }
       def.body_begin = j;
       def.body_end = match_brace(j);
       // `auto name = [..]` binds the lambda to a local name.

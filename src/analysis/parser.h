@@ -33,6 +33,8 @@ struct FunctionDef {
   std::vector<std::string> param_names;
   int line = 0;  ///< line of the name token (annotation anchor)
   int col = 0;
+  std::size_t params_begin = 0;  ///< token index of the parameter-list '('
+  std::size_t params_end = 0;    ///< token index of the matching ')'
   std::size_t body_begin = 0;  ///< token index of the body '{'
   std::size_t body_end = 0;    ///< token index of the matching '}'
   bool is_lambda = false;

@@ -43,6 +43,11 @@ bool path_under(const std::string& path, const std::string& prefix);
 void run_determinism_rules(const FileUnit& unit, const RuleFilter& filter,
                            std::vector<Finding>& out);
 
+/// CFG + reaching-definitions rule families (index-width,
+/// flow-determinism, dead-store) over one linted unit.
+void run_dataflow_rules(const FileUnit& unit, const RuleFilter& filter,
+                        std::vector<Finding>& out);
+
 /// Cross-file knob-completeness pass over the whole corpus.
 void run_knob_rule(const Corpus& corpus, const RuleFilter& filter,
                    std::vector<Finding>& out);

@@ -4,6 +4,7 @@
 #include <limits>
 #include <span>
 
+#include "src/util/checked_narrow.h"
 #include "src/util/logging.h"
 
 namespace vlsipart {
@@ -100,10 +101,12 @@ ContractionResult contract(const Hypergraph& h,
     while (true) {
       const std::uint32_t idx = mem.slots[slot];
       if (idx == kEmptySlot) {
-        mem.slots[slot] = static_cast<std::uint32_t>(mem.pending.size());
+        // Pending-net count and per-net pin count are bounded by the fine
+        // edge/pin counts, which the id contract keeps below 2^32.
+        mem.slots[slot] = vp::checked_narrow<std::uint32_t>(mem.pending.size());
         mem.pending.push_back(
             {mem.pin_pool.size(),
-             static_cast<std::uint32_t>(coarse_pins.size()), ew});
+             vp::checked_narrow<std::uint32_t>(coarse_pins.size()), ew});
         mem.pin_pool.insert(mem.pin_pool.end(), coarse_pins.begin(),
                             coarse_pins.end());
         break;

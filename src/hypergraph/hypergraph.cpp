@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/checked_narrow.h"
 #include "src/util/logging.h"
 
 namespace vlsipart {
@@ -60,7 +61,12 @@ void Hypergraph::validate() const {
 }
 
 HypergraphBuilder::HypergraphBuilder(std::size_t num_vertices)
-    : vertex_weights_(num_vertices, 1) {}
+    : vertex_weights_(num_vertices, 1) {
+  // Compact-CSR id contract: every vertex id must fit VertexId, with the
+  // all-ones value reserved as the kInvalidVertex sentinel.
+  VP_CHECK(num_vertices <= kInvalidVertex,
+           "vertex count " << num_vertices << " exceeds the 32-bit id space");
+}
 
 void HypergraphBuilder::set_vertex_weight(VertexId v, Weight w) {
   VP_CHECK(v < vertex_weights_.size(), "vertex in range");
@@ -88,7 +94,9 @@ EdgeId HypergraphBuilder::add_edge(std::span<const VertexId> pins,
     VP_CHECK(v < vertex_weights_.size(), "edge pin in range");
   }
   if (scratch_.size() < 2) return kInvalidEdge;
-  const auto id = static_cast<EdgeId>(edge_weights_.size());
+  // The new edge's id is the current edge count; checked_narrow enforces
+  // that it stays below the kInvalidEdge sentinel.
+  const auto id = vp::checked_narrow<EdgeId>(edge_weights_.size());
   edge_pins_.insert(edge_pins_.end(), scratch_.begin(), scratch_.end());
   edge_offsets_.push_back(edge_pins_.size());
   edge_weights_.push_back(weight);

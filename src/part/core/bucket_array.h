@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "src/hypergraph/types.h"
+#include "src/util/checked_narrow.h"
 #include "src/util/logging.h"
 #include "src/util/prefetch.h"
 
@@ -113,7 +114,9 @@ class BucketArray {
   // hot-path: root
   void push_front(VertexId v, int group, Gain key) {
     const std::size_t idx = checked_index(v, key);
-    const auto flat = static_cast<std::uint32_t>(
+    // reset() proved the whole sentinel id space fits VertexId, so the
+    // flat slot index is representable in 32 bits.
+    const auto flat = vp::checked_narrow<std::uint32_t>(
         static_cast<std::size_t>(group) * stride_ + idx);
     const auto sent = static_cast<VertexId>(n_ + flat);
     const VertexId head = next_[sent];
@@ -131,7 +134,9 @@ class BucketArray {
   // hot-path: root
   void push_back(VertexId v, int group, Gain key) {
     const std::size_t idx = checked_index(v, key);
-    const auto flat = static_cast<std::uint32_t>(
+    // reset() proved the whole sentinel id space fits VertexId, so the
+    // flat slot index is representable in 32 bits.
+    const auto flat = vp::checked_narrow<std::uint32_t>(
         static_cast<std::size_t>(group) * stride_ + idx);
     const auto sent = static_cast<VertexId>(n_ + flat);
     const VertexId tail = prev_[sent];

@@ -68,6 +68,8 @@ std::vector<PartId> lpt_initial(const PartitionProblem& problem) {
 std::vector<PartId> bfs_initial(const PartitionProblem& problem, Rng& rng) {
   const Hypergraph& h = *problem.graph;
   const std::size_t n = h.num_vertices();
+  // 32-bit id contract: every vertex index below is representable.
+  VP_CHECK(n <= kInvalidVertex, "vertex count " << n << " fits VertexId");
   std::vector<PartId> parts(n, 1);
   Weight w0 = 0;
   const Weight target = h.total_vertex_weight() / 2;

@@ -94,6 +94,8 @@ ParallelFmRefiner::ParallelFmRefiner(const PartitionProblem& problem,
       shards_(pool != nullptr ? pool->num_threads() : 1) {
   const Hypergraph& g = *problem_->graph;
   const std::size_t n = g.num_vertices();
+  // 32-bit id contract: the VertexId sweep below cannot wrap.
+  VP_CHECK(n <= kInvalidVertex, "vertex count " << n << " fits VertexId");
   gain_.assign(n, 0);
   dirty_.assign(n, 1);
   movable_.assign(n, 1);

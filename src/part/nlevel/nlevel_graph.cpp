@@ -2,12 +2,18 @@
 
 #include <algorithm>
 
+#include "src/util/checked_narrow.h"
+
 namespace vlsipart {
 
 void NlevelGraph::bind(const Hypergraph& h) {
   h_ = &h;
   const std::size_t n = h.num_vertices();
   const std::size_t m = h.num_edges();
+  // Ids stay below the 32-bit sentinels, so VertexId/EdgeId counters
+  // below cannot wrap.
+  VP_CHECK(n <= kInvalidVertex, "vertex count " << n << " fits VertexId");
+  VP_CHECK(m <= kInvalidEdge, "edge count " << m << " fits EdgeId");
 
   pin_data_.resize(h.num_pins());
   pin_begin_.resize(m);
@@ -16,7 +22,8 @@ void NlevelGraph::bind(const Hypergraph& h) {
   for (EdgeId e = 0; e < m; ++e) {
     const auto pins = h.pins(e);
     pin_begin_[e] = offset;
-    pin_size_[e] = static_cast<std::uint32_t>(pins.size());
+    // A net's pin count is bounded by the vertex count, which fits 32 bits.
+    pin_size_[e] = vp::checked_narrow<std::uint32_t>(pins.size());
     std::copy(pins.begin(), pins.end(), pin_data_.begin() + offset);
     offset += pins.size();
   }
@@ -49,8 +56,10 @@ void NlevelGraph::contract(VertexId u, VertexId v) {
   Memento m;
   m.u = u;
   m.v = v;
-  m.u_incidence_prev = static_cast<std::uint32_t>(incidence_[u].size());
-  m.ops_begin = static_cast<std::uint32_t>(ops_.size());
+  // Incidence lists and the pin-op log are bounded by the pin count,
+  // which the 32-bit id contract keeps representable.
+  m.u_incidence_prev = vp::checked_narrow<std::uint32_t>(incidence_[u].size());
+  m.ops_begin = vp::checked_narrow<std::uint32_t>(ops_.size());
 
   Weight appended_weight = 0;
   for (const EdgeId e : incidence_[v]) {
@@ -127,6 +136,9 @@ NlevelGraph::Uncontracted NlevelGraph::uncontract(
 
 void NlevelGraph::current_clusters(std::vector<VertexId>& out) const {
   const std::size_t n = num_vertices();
+  // bind() established n <= kInvalidVertex; restated so the VertexId
+  // sweep below is locally provably wrap-free.
+  VP_CHECK(n <= kInvalidVertex, "vertex count " << n << " fits VertexId");
   out.assign(n, kInvalidVertex);
   std::vector<VertexId> chain;
   for (VertexId v = 0; v < n; ++v) {

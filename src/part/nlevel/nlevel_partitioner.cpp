@@ -74,6 +74,9 @@ void NlevelPartitioner::coarsen(const PartitionProblem& problem,
                                 Weight max_cw) {
   const std::size_t n = graph_.num_vertices();
   const std::vector<PartId>& fixed = problem.fixed;
+  // bind() enforced the 32-bit id contract; the VertexId sweep below
+  // cannot wrap.
+  VP_CHECK(n <= kInvalidVertex, "vertex count " << n << " fits VertexId");
   rating_.assign(n, 0.0);
 
   // Lazy max-heap keyed (rating desc, id asc).  Entries go stale as
@@ -160,6 +163,9 @@ void NlevelPartitioner::solve_coarsest(const PartitionProblem& problem,
     }
   }
 
+  // Cluster ids fit VertexId (bind() contract), so a VertexId counter
+  // covers the whole range.
+  VP_CHECK(graph_.num_vertices() <= kInvalidVertex, "cluster ids fit VertexId");
   side_.assign(graph_.num_vertices(), 0);
   for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
     if (graph_.active(v)) side_[v] = coarse_parts[cr.fine_to_coarse[v]];
@@ -296,6 +302,9 @@ Weight NlevelPartitioner::run(const PartitionProblem& problem, Rng& rng,
   const Hypergraph& h = *problem.graph;
   const std::size_t n = h.num_vertices();
   const std::size_t m = h.num_edges();
+  // 32-bit id contract: VertexId/EdgeId counters below cannot wrap.
+  VP_CHECK(n <= kInvalidVertex, "vertex count " << n << " fits VertexId");
+  VP_CHECK(m <= kInvalidEdge, "edge count " << m << " fits EdgeId");
   const AuditConfig audit = AuditConfig::resolve(config_.refine.audit);
 
   graph_.bind(h);

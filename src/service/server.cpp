@@ -355,7 +355,6 @@ void PartitionService::connection_loop(Connection* conn) {
       // peer left to answer; just drop the connection.
       break;
     }
-    last_activity = ServiceClock::now();  // det-lint: allow(wall-clock)
     conn->busy.store(true);
     JsonValue request;
     JsonValue response;

@@ -987,7 +987,8 @@ TEST(RepoSelfTest, RepositoryLintsClean) {
   // tree (the test's cwd), which also has a src/ directory.
   const std::string root = std::string(VLSIPART_SOURCE_DIR) + "/";
   const AnalysisResult r = analyze_paths(
-      {root + "src", root + "tools", root + "bench", root + "examples"},
+      {root + "src", root + "tools", root + "bench", root + "examples",
+       root + "tests"},
       options);
   EXPECT_TRUE(r.errors.empty()) << dump(r);
   EXPECT_EQ(r.findings.size(), 0u) << dump(r);

@@ -95,9 +95,9 @@ class ReferenceGainContainer {
   void place(VertexId v, PartId side, Gain key, bool front) {
     auto& dq = buckets_[side][key];
     if (front) {
-      dq.push_front(v);
+      dq.push_front(v);  // hot-path: allow(reference oracle for differential test; allocation is the point)
     } else {
-      dq.push_back(v);
+      dq.push_back(v);  // hot-path: allow(reference oracle for differential test; allocation is the point)
     }
     entries_[v] = {true, side, key};
   }

@@ -22,7 +22,10 @@ families matching REGEX still fail the run (exit 1) even in warn-only
 mode.  CI uses this for the low-variance gain-bucket families
 (insert/remove/update-key), whose single-digit-nanosecond operations
 are stable enough on shared runners for a hard gate, while the
-wall-clock-heavy families stay advisory.
+wall-clock-heavy families stay advisory.  A baseline family missing
+from the current capture (renamed or deleted benchmark) always exits 1,
+even under --warn-only: losing coverage silently is a configuration
+error, not measurement noise.
 
 Baselines are only comparable between identical build types: the script
 refuses (exit 2) when the two files carry different
@@ -148,6 +151,7 @@ def main():
     print("-" * len(header))
 
     regressions = []
+    missing = []
     for name in sorted(set(base) | set(cur)):
         if name not in base:
             print(f"{name:<{width}}  {'-':>12}  {cur[name]:>12.4g}  "
@@ -156,7 +160,7 @@ def main():
         if name not in cur:
             print(f"{name:<{width}}  {base[name]:>12.4g}  {'-':>12}  "
                   f"{'-':>7}  MISSING from current run")
-            regressions.append(name)
+            missing.append(name)
             continue
         ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
         if ratio < 1.0 - args.threshold:
@@ -171,6 +175,20 @@ def main():
             f"{ratio:>6.2f}x  {verdict}"
         )
 
+    if missing:
+        # A baseline family absent from the current capture means the
+        # benchmark was renamed or deleted without updating the
+        # baseline: the comparison silently loses coverage.  That is a
+        # configuration error, not a noisy measurement, so it blocks
+        # even under --warn-only.
+        print(
+            f"\n{len(missing)} baseline famil"
+            f"{'y' if len(missing) == 1 else 'ies'} missing from the "
+            f"current capture: {', '.join(missing)}\n"
+            "rename the baseline entry or recapture BENCH_baseline.json",
+            file=sys.stderr,
+        )
+        return 1
     if regressions:
         print(
             f"\n{len(regressions)} famil"

@@ -6,7 +6,7 @@
 // Usage:
 //   vpart_lint [options] [path ...]
 //     paths            files or directories to lint (default: src,
-//                      tools, bench, examples — those that exist)
+//                      tools, bench, examples, tests — those that exist)
 //   --repo-root DIR    repository root for context + relative paths
 //                      (default: current directory)
 //   --format FMT       human | json | sarif (default: human)
@@ -88,9 +88,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths = args.positional();
   if (paths.empty()) {
     // Default scope: every C++ tree of the repo that exists.  src/ is
-    // required; the tool and bench trees are linted too so their code
-    // meets the same determinism bar.
-    for (const char* dir : {"src", "tools", "bench", "examples"}) {
+    // required; the tool, bench and test trees are linted too so their
+    // code meets the same determinism bar.
+    for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
       const std::filesystem::path d =
           std::filesystem::path(options.repo_root) / dir;
       std::error_code ec;
